@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation for Section 4.5: what AltiVec buys the PowerPC G4 on
+ * each kernel — about 6x on the CSLC, about 2x on beam steering,
+ * and nearly nothing on the bus-bound corner turn.
+ */
+
+#include <iostream>
+
+#include "ppc/kernels_ppc.hh"
+#include "sim/table.hh"
+
+using namespace triarch;
+using namespace triarch::ppc;
+using namespace triarch::kernels;
+
+int
+main()
+{
+    Table t("AltiVec gain over scalar PPC G4 (Section 4.5)");
+    t.header({"Kernel", "Scalar (10^3)", "AltiVec (10^3)", "Gain",
+              "Paper gain"});
+
+    {
+        WordMatrix src(1024, 1024);
+        fillMatrix(src, 1);
+        WordMatrix dst;
+        PpcMachine ms, mv;
+        const Cycles s = cornerTurnPpc(ms, src, dst, false);
+        const Cycles v = cornerTurnPpc(mv, src, dst, true);
+        t.row({"Corner Turn", Table::num(s / 1000),
+               Table::num(v / 1000),
+               Table::num(static_cast<double>(s) / v, 2),
+               "1.17 (\"not significant\")"});
+    }
+    {
+        CslcConfig cfg;
+        auto in = makeJammedInput(cfg, {300, 1700, 4090}, 11);
+        auto w = estimateWeights(cfg, in);
+        CslcOutput out;
+        PpcMachine ms, mv;
+        const Cycles s = cslcPpc(ms, cfg, in, w, out, false);
+        const Cycles v = cslcPpc(mv, cfg, in, w, out, true);
+        t.row({"CSLC", Table::num(s / 1000), Table::num(v / 1000),
+               Table::num(static_cast<double>(s) / v, 2),
+               "5.88 (\"about six\")"});
+    }
+    {
+        BeamConfig cfg;
+        auto tables = makeBeamTables(cfg, 2);
+        std::vector<std::int32_t> out;
+        PpcMachine ms, mv;
+        const Cycles s = beamSteeringPpc(ms, cfg, tables, out, false);
+        const Cycles v = beamSteeringPpc(mv, cfg, tables, out, true);
+        t.row({"Beam Steering", Table::num(s / 1000),
+               Table::num(v / 1000),
+               Table::num(static_cast<double>(s) / v, 2),
+               "2.01 (\"about two\")"});
+    }
+
+    t.render(std::cout);
+    std::cout << "\nThe corner turn is limited by the front-side bus, "
+                 "so a 4-wide datapath\nbarely helps; the CSLC is "
+                 "FPU-bound, so AltiVec's four lanes plus decent\n"
+                 "scheduling pay off fully (Section 4.5).\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation for the corner-turn blocking choices (Section 3.1): why
+ * the VIRAM mapping gathers 64-element columns (vector-register
+ * height) and why the conventional baseline tiles at a cache-friendly
+ * block edge. Sweeps the block size on both machines.
+ */
+
+#include <iostream>
+
+#include "ppc/kernels_ppc.hh"
+#include "sim/logging.hh"
+#include "sim/table.hh"
+#include "viram/kernels_viram.hh"
+
+using namespace triarch;
+using namespace triarch::kernels;
+
+int
+main()
+{
+    WordMatrix src(1024, 1024);
+    fillMatrix(src, 1);
+    WordMatrix dst;
+
+    Table tv("VIRAM corner turn vs column-gather height "
+             "(vl per strided load)");
+    tv.header({"Row block (vl)", "Cycles (10^3)"});
+    for (unsigned rb : {8u, 16u, 32u, 64u}) {
+        viram::ViramMachine machine;
+        const Cycles c = viram::cornerTurnViram(machine, src, dst, rb);
+        if (!isTransposeOf(src, dst))
+            triarch_fatal("bad transpose at row block ", rb);
+        tv.row({std::to_string(rb), Table::num(c / 1000)});
+    }
+    tv.render(std::cout);
+    std::cout << "\nShort vectors leave the address generators idle "
+                 "during startup; the paper's\nmapping uses "
+                 "full-height (64-element) column gathers.\n\n";
+
+    Table tp("PPC G4 corner turn vs cache block edge (scalar)");
+    tp.header({"Block edge", "Cycles (10^3)", "L1 misses (10^3)"});
+    for (unsigned edge : {8u, 16u, 32u, 64u, 128u}) {
+        ppc::PpcMachine machine;
+        const Cycles c =
+            ppc::cornerTurnPpc(machine, src, dst, false, edge);
+        if (!isTransposeOf(src, dst))
+            triarch_fatal("bad transpose at block edge ", edge);
+        tp.row({std::to_string(edge), Table::num(c / 1000),
+                Table::num(machine.l1Misses() / 1000)});
+    }
+    tp.render(std::cout);
+    std::cout << "\nColumn writes within a block land in a single L1 "
+                 "set (4 KB stride), so a\nblock edge above the 8-way "
+                 "associativity thrashes the destination lines\nand "
+                 "misses jump ~4x. This set-conflict behavior is why "
+                 "conventional\ncache systems must tile the corner "
+                 "turn at all (Section 3.1) — and why\neven tiled, "
+                 "the G4 stays memory-bound.\n";
+    return 0;
+}

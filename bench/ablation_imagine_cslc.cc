@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ablation for Section 4.3's Imagine CSLC analysis: the parallelized
+ * FFT spends ~30% of its time on inter-cluster communication, and
+ * ALU utilization lands near 25% (30.6% excluding the divider). The
+ * bench measures utilization and re-runs with an idealized
+ * inter-cluster network — the "independent FFTs" alternative the
+ * paper describes but did not complete.
+ */
+
+#include <iostream>
+
+#include "imagine/kernels_imagine.hh"
+#include "sim/logging.hh"
+#include "sim/table.hh"
+
+using namespace triarch;
+using namespace triarch::imagine;
+using namespace triarch::kernels;
+
+namespace
+{
+
+struct Outcome
+{
+    Cycles cycles;
+    double utilization;
+};
+
+Outcome
+runWith(const ImagineConfig &cfg, const CslcConfig &ccfg,
+        const CslcInput &in, const CslcWeights &weights)
+{
+    ImagineMachine machine(cfg);
+    CslcOutput out;
+    const Cycles cycles = cslcImagine(machine, ccfg, in, weights, out);
+    return {cycles, machine.aluUtilization()};
+}
+
+} // namespace
+
+int
+main()
+{
+    CslcConfig ccfg;
+    auto in = makeJammedInput(ccfg, {300, 1700, 4090}, 11);
+    auto weights = estimateWeights(ccfg, in);
+
+    const ImagineConfig baseline;
+    const Outcome base = runWith(baseline, ccfg, in, weights);
+
+    ImagineConfig wideComm = baseline;
+    wideComm.commPerCluster = 8;    // comm is never the bottleneck
+    const Outcome noComm = runWith(wideComm, ccfg, in, weights);
+
+    // The alternative Section 4.3 describes but did not complete:
+    // independent per-cluster FFTs (sub-bands in pairs), no comm.
+    ImagineMachine independent;
+    CslcOutput outIndep;
+    const Cycles indepCycles = cslcImagineIndependent(
+        independent, ccfg, in, weights, outIndep);
+    if (cancellationDepthDb(ccfg, in, outIndep) < 15.0)
+        triarch_fatal("independent mapping failed to cancel");
+
+    Table t("Imagine CSLC: inter-cluster communication ablation");
+    t.header({"Configuration", "Cycles (10^3)", "ALU utilization"});
+    t.row({"baseline (parallel FFT, comm-bound II)",
+           Table::num(base.cycles / 1000),
+           Table::num(100.0 * base.utilization, 1) + "%"});
+    t.row({"ideal inter-cluster network",
+           Table::num(noComm.cycles / 1000),
+           Table::num(100.0 * noComm.utilization, 1) + "%"});
+    t.row({"independent per-cluster FFTs (completed here)",
+           Table::num(indepCycles / 1000),
+           Table::num(100.0 * independent.aluUtilization(), 1) + "%"});
+    t.render(std::cout);
+
+    std::cout << "\nIndependent FFTs also amortize the software-"
+                 "pipeline prologue over 8x\nlonger kernels and push "
+                 "the kernel toward the memory engines (memory\n"
+                 "fraction "
+              << Table::num(100.0 * independent.memoryFraction(), 1)
+              << "%).\n";
+
+    std::cout << "\nComm overhead: "
+              << Table::num(100.0
+                                * (static_cast<double>(base.cycles)
+                                   - static_cast<double>(noComm.cycles))
+                                / static_cast<double>(base.cycles),
+                            1)
+              << "% of baseline cycles (paper: ~30%, Section 4.3).\n"
+              << "Paper utilization: 25.5% of all ALUs, 30.6% "
+                 "excluding the divider.\n";
+    return 0;
+}

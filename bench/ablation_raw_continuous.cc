@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation for Section 4.3's continuous-operation argument: the
+ * paper justifies reporting Raw's CSLC at perfect load balance
+ * because "in a real implementation, the input data sets would
+ * arrive continuously", so the 73-on-16 remainder amortizes over
+ * intervals. The bench processes 1..8 consecutive intervals with
+ * sets handed out round-robin and shows the idle fraction and the
+ * per-interval cost converging to the extrapolated Table 3 value.
+ */
+
+#include <iostream>
+
+#include "raw/kernels_raw.hh"
+#include "sim/logging.hh"
+#include "sim/table.hh"
+
+using namespace triarch;
+using namespace triarch::raw;
+using namespace triarch::kernels;
+
+int
+main()
+{
+    CslcConfig cfg;
+    auto in = makeJammedInput(cfg, {300, 1700, 4090}, 11);
+    auto weights = estimateWeights(cfg, in);
+
+    Table t("Raw CSLC under continuous input (Section 4.3)");
+    t.header({"Intervals", "Cycles/interval (10^3)",
+              "Balanced bound (10^3)", "Idle fraction"});
+
+    Cycles balancedOne = 0;
+    for (unsigned intervals : {1u, 2u, 4u, 8u}) {
+        RawMachine machine;
+        CslcOutput out;
+        auto result =
+            cslcRaw(machine, cfg, in, weights, out, intervals);
+        if (cancellationDepthDb(cfg, in, out) < 15.0)
+            triarch_fatal("cancellation failed");
+        if (intervals == 1)
+            balancedOne = result.balancedCycles;
+        t.row({std::to_string(intervals),
+               Table::num(result.cycles / intervals / 1000),
+               Table::num(result.balancedCycles / intervals / 1000),
+               Table::num(100.0 * result.idleFraction, 1) + "%"});
+    }
+    t.render(std::cout);
+
+    std::cout << "\nWith one interval, 9 tiles process five sets and "
+                 "7 process four: 8-9% of\ntile cycles idle. As "
+                 "intervals queue up, the remainder amortizes and "
+                 "the\nmeasured per-interval cost converges to the "
+                 "Table 3 extrapolation (~"
+              << Table::num(balancedOne / 1000)
+              << "k\ncycles) — the paper's justification, observed "
+                 "rather than assumed.\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation for Section 4.3's Raw CSLC analysis:
+ *
+ *  1. the radix choice — the paper uses radix-2 because the radix-4
+ *     butterfly spills registers on a tile, even though radix-2
+ *     executes ~1.5x the operations; the bench quantifies both
+ *     effects from the op-count models and the measured kernel;
+ *  2. load balancing — 73 sub-band sets on 16 tiles leaves ~8% of
+ *     tile cycles idle; the bench sweeps the set count and reports
+ *     measured vs perfectly-balanced cycles.
+ */
+
+#include <iostream>
+
+#include "kernels/fft.hh"
+#include "raw/kernels_raw.hh"
+#include "sim/table.hh"
+
+using namespace triarch;
+using namespace triarch::raw;
+using namespace triarch::kernels;
+
+int
+main()
+{
+    // Part 1: radix trade-off.
+    const FftOps r2 = radix2Ops(128);
+    const FftOps r4 = mixed128Ops();
+
+    Table radix("Radix choice for the 128-point FFT on a Raw tile");
+    radix.header({"Algorithm", "flops", "loads+stores", "total ops",
+                  "live values"});
+    radix.row({"radix-2", Table::num(r2.flops()),
+               Table::num(r2.loads + r2.stores), Table::num(r2.total()),
+               "14 (fits 24 regs)"});
+    radix.row({"mixed radix-4", Table::num(r4.flops()),
+               Table::num(r4.loads + r4.stores), Table::num(r4.total()),
+               "26+ (spills)"});
+    radix.render(std::cout);
+    std::cout << "radix-2 / radix-4 total-op ratio: "
+              << Table::num(static_cast<double>(r2.total())
+                                / static_cast<double>(r4.total()),
+                            2)
+              << "  (paper: \"about 1.5\", Section 4.3)\n"
+              << "A radix-4 butterfly needs 4 complex points, 3 "
+                 "twiddles, and 6 temporaries\nlive at once — beyond "
+                 "a tile's register budget, so every spilled value\n"
+                 "adds a store+load pair, which is why the paper's "
+                 "radix-4 attempt lost.\n\n";
+
+    // Part 2: load balancing across sub-band counts.
+    Table balance("CSLC load balance on 16 tiles (Section 4.3)");
+    balance.header({"Sub-bands", "Measured (10^3)", "Balanced (10^3)",
+                    "Idle fraction"});
+    for (unsigned subBands : {64u, 73u, 80u}) {
+        CslcConfig cfg;
+        cfg.subBands = subBands;
+        cfg.samples =
+            (cfg.subBands - 1) * cfg.subBandStride + cfg.subBandLen;
+        auto in = makeJammedInput(cfg, {300, 1700}, 11);
+        auto weights = estimateWeights(cfg, in);
+
+        RawMachine machine;
+        CslcOutput out;
+        auto result = cslcRaw(machine, cfg, in, weights, out);
+        balance.row({std::to_string(subBands),
+                     Table::num(result.cycles / 1000),
+                     Table::num(result.balancedCycles / 1000),
+                     Table::num(100.0 * result.idleFraction, 1) + "%"});
+    }
+    balance.render(std::cout);
+    std::cout << "\n73 sets on 16 tiles gives 9 tiles five sets and 7 "
+                 "tiles four: ~8% idle\n(paper). With 64 or 80 sets "
+                 "the division is exact and idle time vanishes;\n"
+                 "Table 3 reports the balanced extrapolation, as in "
+                 "the paper.\n";
+    return 0;
+}

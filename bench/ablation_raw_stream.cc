@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation for Section 4.3's Raw stream-mode claim: "If FFT is
+ * implemented using the stream interface that uses [the] static
+ * network, it hides the cache miss stalls, and load and store
+ * operations are not needed. A primitive implementation result
+ * suggests about 70% of FFT performance improvement."
+ *
+ * The bench runs the completed stream-mode CSLC (DMA-fed tiles,
+ * bit-reversing receive, weight operands straight from $csti,
+ * results drained through $csto) against the paper's cached MIMD
+ * mapping, and separately prints the per-butterfly operation budget
+ * that underlies the paper's 70% estimate.
+ */
+
+#include <iostream>
+
+#include "raw/kernels_raw.hh"
+#include "sim/logging.hh"
+#include "sim/table.hh"
+
+using namespace triarch;
+using namespace triarch::raw;
+using namespace triarch::kernels;
+
+int
+main()
+{
+    CslcConfig cfg;
+    auto in = makeJammedInput(cfg, {300, 1700, 4090}, 11);
+    auto weights = estimateWeights(cfg, in);
+
+    RawMachine cached;
+    CslcOutput outCached;
+    auto cachedResult = cslcRaw(cached, cfg, in, weights, outCached);
+    if (cancellationDepthDb(cfg, in, outCached) < 15.0)
+        triarch_fatal("cached mapping failed to cancel the jammer");
+
+    RawMachine streamed;
+    CslcOutput outStreamed;
+    auto streamedResult =
+        cslcRawStreamed(streamed, cfg, in, weights, outStreamed);
+    if (cancellationDepthDb(cfg, in, outStreamed) < 15.0)
+        triarch_fatal("streamed mapping failed to cancel the jammer");
+
+    Table t("Raw CSLC: cached MIMD vs stream mode (Section 4.3)");
+    t.header({"Mapping", "Balanced cycles (10^3)",
+              "Cache stall cycles (10^3)", "Loads+stores (10^6)"});
+    t.row({"cached MIMD (paper)",
+           Table::num(cachedResult.balancedCycles / 1000),
+           Table::num(cached.cacheStallCycles() / 1000),
+           Table::num(cached.loadStores() / 1e6, 2)});
+    t.row({"stream mode (completed here)",
+           Table::num(streamedResult.balancedCycles / 1000),
+           Table::num(streamed.cacheStallCycles() / 1000),
+           Table::num(streamed.loadStores() / 1e6, 2)});
+    t.render(std::cout);
+
+    const double gain =
+        static_cast<double>(cachedResult.balancedCycles)
+        / static_cast<double>(streamedResult.balancedCycles);
+    std::cout << "\nMeasured stream-mode speedup: " << Table::num(gain, 2)
+              << "x — cache stalls vanish and the copy loops halve.\n";
+
+    std::cout
+        << "\nWhy the paper estimated ~70% for the FFT itself:\n"
+           "  per-butterfly budget, compiled cached code (paper's "
+           "baseline):\n"
+           "    6 loads + 10 flops + 4 stores + 5 address/loop ops "
+           "+ stalls  ~ 40 cycles\n"
+           "  per-butterfly budget, operands from the network:\n"
+           "    10 flops + 2 twiddle loads + control               "
+           "  ~ 13-19 cycles\n"
+           "  ratio ~ 1.7x (70%). Our emitted butterfly is already "
+           "scheduled and\n  immediate-addressed (~25 cycles), so "
+           "less headroom remains; the measured\n  gain above "
+           "reflects removing the global-memory traffic only.\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation for Section 4.6's VIRAM capacity cliff: "If the
+ * application size is larger than the on-chip DRAM, the data needs
+ * to come from off-chip memory and VIRAM would lose much of its
+ * advantage." Sweeps the corner-turn matrix size across the 13 MB
+ * on-chip boundary and compares against Raw, whose DRAM is off-chip
+ * at every size.
+ */
+
+#include <iostream>
+
+#include "raw/kernels_raw.hh"
+#include "sim/logging.hh"
+#include "sim/table.hh"
+#include "viram/kernels_viram.hh"
+
+using namespace triarch;
+using namespace triarch::kernels;
+
+int
+main()
+{
+    Table t("Corner-turn cycles per word vs matrix size "
+            "(VIRAM capacity cliff, Section 4.6)");
+    t.header({"Matrix", "Footprint (MB)", "VIRAM cyc/word",
+              "Raw cyc/word", "VIRAM/Raw"});
+
+    for (unsigned n : {512u, 1024u, 1536u, 2048u}) {
+        WordMatrix src(n, n);
+        fillMatrix(src, 1);
+        WordMatrix dst;
+        const double words = static_cast<double>(n) * n;
+
+        viram::ViramConfig vcfg;
+        vcfg.offchipBytes = 128ULL * 1024 * 1024;
+        viram::ViramMachine vm(vcfg);
+        const Cycles vc = viram::cornerTurnViram(vm, src, dst);
+        triarch_assert(isTransposeOf(src, dst), "bad VIRAM output");
+
+        raw::RawConfig rcfg;
+        rcfg.globalBytes = 128ULL * 1024 * 1024;
+        raw::RawMachine rm(rcfg);
+        const Cycles rc = raw::cornerTurnRaw(rm, src, dst);
+        triarch_assert(isTransposeOf(src, dst), "bad Raw output");
+
+        const double vRate = vc / words;
+        const double rRate = rc / words;
+        t.row({std::to_string(n) + "x" + std::to_string(n),
+               Table::num(2.0 * words * 4 / (1024 * 1024), 1),
+               Table::num(vRate, 3), Table::num(rRate, 3),
+               Table::num(vRate / rRate, 2)});
+    }
+    t.render(std::cout);
+
+    std::cout
+        << "\nBelow ~13 MB total footprint both matrices live in "
+           "VIRAM's on-chip DRAM\nand it transposes at its "
+           "address-generator rate. Once the destination (and\nthen "
+           "the source) spill off chip, every access crawls through "
+           "the 2-words/\ncycle DMA interface and VIRAM's edge over "
+           "Raw collapses — Raw's ports were\noff-chip all along, so "
+           "its cycles/word stays flat (Section 4.6).\n";
+    return 0;
+}

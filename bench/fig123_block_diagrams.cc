@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Stands in for Figures 1-3: textual block diagrams of the VIRAM,
+ * Imagine, and Raw machine models, printed from the configurations
+ * the simulators actually run with, plus the G4 baseline.
+ */
+
+#include <iostream>
+
+#include "imagine/machine.hh"
+#include "ppc/machine.hh"
+#include "raw/machine.hh"
+#include "viram/machine.hh"
+
+int
+main()
+{
+    std::cout << "Figure 1.\n"
+              << triarch::viram::ViramMachine().describe() << "\n";
+    std::cout << "Figure 2.\n"
+              << triarch::imagine::ImagineMachine().describe() << "\n";
+    std::cout << "Figure 3.\n"
+              << triarch::raw::RawMachine().describe() << "\n";
+    std::cout << "Baseline.\n"
+              << triarch::ppc::PpcMachine().describe();
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Host-side microbenchmarks (google-benchmark): throughput of the
+ * reference kernels and of the simulators themselves. These do not
+ * reproduce paper numbers; they document the cost of running the
+ * study and guard against performance regressions in the simulators.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "kernels/corner_turn.hh"
+#include "kernels/fft.hh"
+#include "raw/kernels_raw.hh"
+#include "sim/rng.hh"
+#include "viram/kernels_viram.hh"
+
+namespace
+{
+
+using namespace triarch;
+
+void
+BM_ReferenceFftMixed128(benchmark::State &state)
+{
+    Rng rng(1);
+    std::vector<kernels::cfloat> x(128);
+    for (auto &v : x)
+        v = {rng.nextSignedFloat(), rng.nextSignedFloat()};
+    for (auto _ : state) {
+        auto y = x;
+        kernels::fftMixed128(y);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_ReferenceFftMixed128);
+
+void
+BM_ReferenceFftRadix2_1024(benchmark::State &state)
+{
+    Rng rng(2);
+    std::vector<kernels::cfloat> x(1024);
+    for (auto &v : x)
+        v = {rng.nextSignedFloat(), rng.nextSignedFloat()};
+    for (auto _ : state) {
+        auto y = x;
+        kernels::fftRadix2(y);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_ReferenceFftRadix2_1024);
+
+void
+BM_ReferenceTransposeBlocked(benchmark::State &state)
+{
+    kernels::WordMatrix src(512, 512), dst(512, 512);
+    kernels::fillMatrix(src, 3);
+    for (auto _ : state) {
+        kernels::transposeBlocked(src, dst, 32);
+        benchmark::DoNotOptimize(dst.data.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 512 * 512 * 4);
+}
+BENCHMARK(BM_ReferenceTransposeBlocked);
+
+void
+BM_ViramSimulatorCornerTurn128(benchmark::State &state)
+{
+    kernels::WordMatrix src(128, 128);
+    kernels::fillMatrix(src, 4);
+    for (auto _ : state) {
+        viram::ViramMachine machine;
+        kernels::WordMatrix dst;
+        benchmark::DoNotOptimize(
+            viram::cornerTurnViram(machine, src, dst));
+    }
+}
+BENCHMARK(BM_ViramSimulatorCornerTurn128);
+
+void
+BM_RawInterpreterCornerTurn128(benchmark::State &state)
+{
+    kernels::WordMatrix src(128, 128);
+    kernels::fillMatrix(src, 5);
+    std::uint64_t simCycles = 0;
+    for (auto _ : state) {
+        raw::RawMachine machine;
+        kernels::WordMatrix dst;
+        simCycles += raw::cornerTurnRaw(machine, src, dst);
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(simCycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RawInterpreterCornerTurn128);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Regenerates Table 1: peak throughput (32-bit words per cycle) of
+ * the three research architectures, derived from the machine
+ * registry the simulators are configured from.
+ */
+
+#include <iostream>
+
+#include "study/report.hh"
+
+int
+main()
+{
+    triarch::study::buildTable1().render(std::cout);
+    std::cout << "\nNote: memory bandwidth is a property of each "
+                 "implementation, not of the\narchitecture itself; "
+                 "VIRAM's \"nearest DRAM\" is on-chip, Imagine's and "
+                 "Raw's\nare off-chip (Section 2.5 of the paper).\n";
+    return 0;
+}

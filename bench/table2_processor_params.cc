@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Regenerates Table 2: processor parameters (clock, ALU count, peak
+ * GFLOPS) of the four chips.
+ */
+
+#include <iostream>
+
+#include "study/report.hh"
+
+int
+main()
+{
+    triarch::study::buildTable2().render(std::cout);
+    std::cout << "\nNote: the PowerPC G4 is a custom-logic commercial "
+                 "part; the research chips\nare standard-cell "
+                 "prototypes built by small teams (Section 4.1).\n";
+    return 0;
+}

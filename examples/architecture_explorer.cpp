@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Architecture explorer: the "what if" studies the machine models
+ * make cheap. Sweeps one microarchitectural parameter per machine
+ * and shows how the paper's kernels respond:
+ *
+ *  - VIRAM: number of strided address generators vs corner turn
+ *    (Section 4.2 blames 24% of cycles on having only four);
+ *  - Imagine: number of memory stream engines vs corner turn
+ *    (the paper notes 2 words/cycle was an implementation choice);
+ *  - Raw: mesh size vs beam steering (tiled scaling);
+ *  - PPC G4: front-side-bus width vs corner turn (why the G4 loses
+ *    regardless of AltiVec).
+ *
+ *   $ ./architecture_explorer
+ */
+
+#include <iostream>
+
+#include "imagine/kernels_imagine.hh"
+#include "ppc/kernels_ppc.hh"
+#include "raw/kernels_raw.hh"
+#include "sim/logging.hh"
+#include "sim/table.hh"
+#include "viram/kernels_viram.hh"
+
+using namespace triarch;
+using namespace triarch::kernels;
+
+int
+main()
+{
+    WordMatrix matrix(1024, 1024);
+    fillMatrix(matrix, 1);
+    WordMatrix dst;
+
+    {
+        Table t("VIRAM: strided address generators vs corner turn");
+        t.header({"Address generators", "Cycles (10^3)"});
+        for (unsigned gens : {1u, 2u, 4u, 8u}) {
+            viram::ViramConfig cfg;
+            cfg.addrGens = gens;
+            viram::ViramMachine machine(cfg);
+            const Cycles c =
+                viram::cornerTurnViram(machine, matrix, dst);
+            triarch_assert(isTransposeOf(matrix, dst), "bad output");
+            t.row({std::to_string(gens), Table::num(c / 1000)});
+        }
+        t.render(std::cout);
+        std::cout << "(the prototype has 4; Section 4.2 attributes "
+                     "~24% of corner-turn time to it)\n\n";
+    }
+
+    {
+        Table t("Imagine: memory stream engines vs corner turn");
+        t.header({"Engines (1 word/cycle each)", "Cycles (10^3)"});
+        for (unsigned engines : {1u, 2u, 4u}) {
+            imagine::ImagineConfig cfg;
+            cfg.memEngines = engines;
+            imagine::ImagineMachine machine(cfg);
+            const Cycles c =
+                imagine::cornerTurnImagine(machine, matrix, dst);
+            triarch_assert(isTransposeOf(matrix, dst), "bad output");
+            t.row({std::to_string(engines), Table::num(c / 1000)});
+        }
+        t.render(std::cout);
+        std::cout << "(the prototype has 2; the paper notes the "
+                     "memory interface was deliberately\nnarrow — "
+                     "Imagine's point is avoiding memory traffic, "
+                     "not providing it)\n\n";
+    }
+
+    {
+        BeamConfig cfg;
+        auto tables = makeBeamTables(cfg, 2);
+        auto ref = beamSteerReference(cfg, tables);
+        Table t("Raw: mesh size vs beam steering");
+        t.header({"Mesh", "Tiles", "Cycles (10^3)"});
+        for (unsigned edge : {2u, 3u, 4u}) {
+            raw::RawConfig rcfg;
+            rcfg.meshWidth = edge;
+            rcfg.meshHeight = edge;
+            raw::RawMachine machine(rcfg);
+            std::vector<std::int32_t> out;
+            const Cycles c =
+                raw::beamSteeringRaw(machine, cfg, tables, out);
+            triarch_assert(out == ref, "bad output");
+            t.row({std::to_string(edge) + "x" + std::to_string(edge),
+                   std::to_string(edge * edge),
+                   Table::num(c / 1000)});
+        }
+        t.render(std::cout);
+        std::cout << "(near-linear scaling: every tile computes on "
+                     "data straight from the network)\n\n";
+    }
+
+    {
+        Table t("PPC G4: front-side-bus width vs corner turn "
+                "(AltiVec)");
+        t.header({"Bus (words/cycle)", "Cycles (10^3)"});
+        for (unsigned num : {2u, 4u, 8u, 16u}) {
+            ppc::PpcConfig cfg;
+            cfg.fsbWordsNum = num;      // over fsbCyclesDen = 5
+            ppc::PpcMachine machine(cfg);
+            const Cycles c =
+                ppc::cornerTurnPpc(machine, matrix, dst, true);
+            triarch_assert(isTransposeOf(matrix, dst), "bad output");
+            t.row({Table::num(num / 5.0, 1), Table::num(c / 1000)});
+        }
+        t.render(std::cout);
+        std::cout << "(even a 4x wider bus leaves the G4 an order of "
+                     "magnitude behind the\nresearch chips: the "
+                     "latency of blocking loads dominates)\n";
+    }
+    return 0;
+}

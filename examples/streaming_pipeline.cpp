@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Streaming radar pipeline on Imagine — the scenario Section 4.4
+ * says the isolated beam-steering measurement understates:
+ *
+ *   "In an actual signal processing pipeline the beam steering
+ *    kernel would stream its inputs from the preceding kernel in
+ *    the application (e.g., a poly-phase filter bank) and stream
+ *    its outputs to the following kernel (e.g., per-beam
+ *    equalization). In such a pipeline the performance of beam
+ *    steering will not be limited by memory bandwidth ... but
+ *    rather will be limited by arithmetic performance."
+ *
+ * The example builds that three-stage pipeline from the machine
+ * primitives: a synthetic poly-phase filter stage produces the
+ * calibration-corrected element stream into the SRF, beam steering
+ * consumes it without touching memory, and a per-beam equalization
+ * stage consumes the phases — then compares cycles per output with
+ * the isolated (memory-streamed) kernel of Table 3.
+ *
+ *   $ ./streaming_pipeline
+ */
+
+#include <iostream>
+
+#include "imagine/kernels_imagine.hh"
+#include "sim/bitutil.hh"
+#include "sim/logging.hh"
+#include "sim/table.hh"
+
+using namespace triarch;
+using namespace triarch::imagine;
+using namespace triarch::kernels;
+
+namespace
+{
+
+/** The three pipelined kernels' VLIW schedules. */
+KernelDesc
+filterBankDesc(unsigned elements, unsigned clusters)
+{
+    // 8-tap poly-phase FIR per element: 8 multiply-accumulates.
+    KernelDesc d;
+    d.name = "polyphase_filter";
+    d.iterations =
+        static_cast<unsigned>(ceilDiv(elements, clusters));
+    d.adds = 8;
+    d.mults = 8;
+    d.srfWords = 3;
+    d.pipelineDepth = 16;
+    return d;
+}
+
+KernelDesc
+steerDesc(unsigned elements, unsigned clusters)
+{
+    KernelDesc d;
+    d.name = "beam_steer";
+    d.iterations =
+        static_cast<unsigned>(ceilDiv(elements, clusters));
+    d.adds = 6;     // 5 adds + shift, as in Table 3's kernel
+    d.srfWords = 3;
+    d.pipelineDepth = 16;
+    return d;
+}
+
+KernelDesc
+equalizeDesc(unsigned elements, unsigned clusters)
+{
+    // Per-beam equalization: complex gain per phase (4 mults, 2 adds).
+    KernelDesc d;
+    d.name = "equalize";
+    d.iterations =
+        static_cast<unsigned>(ceilDiv(elements, clusters));
+    d.adds = 2;
+    d.mults = 4;
+    d.srfWords = 2;
+    d.pipelineDepth = 16;
+    return d;
+}
+
+} // namespace
+
+int
+main()
+{
+    BeamConfig cfg;
+    auto tables = makeBeamTables(cfg, 13);
+    const unsigned clusters = ImagineConfig{}.clusters;
+
+    // ---- Isolated kernel (Table 3 conditions). ----
+    ImagineMachine isolated;
+    std::vector<std::int32_t> isolatedOut;
+    const Cycles isolatedCycles =
+        beamSteeringImagine(isolated, cfg, tables, isolatedOut);
+
+    // ---- Pipelined version. ----
+    ImagineMachine m;
+    // Raw sensor samples come from memory once per dwell/direction;
+    // everything between the stages lives in the SRF.
+    const Addr sensorBase =
+        m.allocMem(cfg.elements * 4ULL, "sensor samples");
+    const Addr outBase =
+        m.allocMem(cfg.outputs() * 4ULL, "equalized beams");
+    {
+        std::vector<Word> w(cfg.elements);
+        for (unsigned e = 0; e < cfg.elements; ++e) {
+            w[e] = static_cast<Word>(tables.calCoarse[e]
+                                     + tables.calFine[e]);
+        }
+        m.pokeWords(sensorBase, w);
+    }
+
+    m.resetTiming();
+    std::uint64_t outputs = 0;
+    for (unsigned dw = 0; dw < cfg.dwells; ++dw) {
+        for (unsigned dir = 0; dir < cfg.directions; ++dir) {
+            StreamRef sensor = m.allocStream(cfg.elements, "sensor");
+            m.loadStream(sensor, MemPattern::sequential(sensorBase,
+                                                        cfg.elements));
+
+            // Stage 1: poly-phase filter produces the corrected
+            // element stream (functionally: pass-through of the
+            // combined calibration value; the schedule models the
+            // real 8-tap FIR arithmetic).
+            StreamRef corrected =
+                m.allocStream(cfg.elements, "corrected");
+            m.runKernel(filterBankDesc(cfg.elements, clusters),
+                        {&sensor}, {&corrected}, [&] {
+                            auto in = m.srfData(sensor);
+                            auto out = m.srfData(corrected);
+                            std::copy(in.begin(), in.end(),
+                                      out.begin());
+                        });
+
+            // Stage 2: beam steering straight from the SRF.
+            StreamRef phases = m.allocStream(cfg.elements, "phases");
+            m.runKernel(
+                steerDesc(cfg.elements, clusters), {&corrected},
+                {&phases}, [&, dw, dir] {
+                    auto in = m.srfData(corrected);
+                    auto out = m.srfData(phases);
+                    std::int32_t acc = tables.steerBase[dir];
+                    for (unsigned e = 0; e < cfg.elements; ++e) {
+                        acc += tables.steerDelta[dir];
+                        std::int32_t t =
+                            static_cast<std::int32_t>(in[e]);
+                        t += acc;
+                        t += tables.dwellOffset[dw];
+                        t += tables.bias;
+                        out[e] = static_cast<Word>(t >> cfg.shift);
+                    }
+                });
+
+            // Stage 3: per-beam equalization consumes the phases;
+            // only its (small) result returns to memory.
+            StreamRef beams = m.allocStream(cfg.elements, "beams");
+            m.runKernel(equalizeDesc(cfg.elements, clusters),
+                        {&phases}, {&beams}, [&] {
+                            auto in = m.srfData(phases);
+                            auto out = m.srfData(beams);
+                            for (unsigned e = 0; e < cfg.elements;
+                                 ++e) {
+                                out[e] = in[e] ^ 0x5A5A5A5A;
+                            }
+                        });
+            m.storeStream(
+                beams,
+                MemPattern::sequential(
+                    outBase + (static_cast<Addr>(dw) * cfg.directions
+                               + dir) * cfg.elements * 4,
+                    cfg.elements));
+
+            outputs += cfg.elements;
+            m.freeStream(sensor);
+            m.freeStream(corrected);
+            m.freeStream(phases);
+            m.freeStream(beams);
+        }
+    }
+    const Cycles pipelineCycles = m.completionTime();
+
+    Table t("Beam steering: isolated kernel vs streaming pipeline "
+            "(Section 4.4)");
+    t.header({"Configuration", "Cycles (10^3)", "Cycles per output",
+              "Memory fraction"});
+    t.row({"isolated (tables from DRAM, Table 3)",
+           Table::num(isolatedCycles / 1000),
+           Table::num(static_cast<double>(isolatedCycles)
+                          / cfg.outputs(),
+                      2),
+           Table::num(100.0 * isolated.memoryFraction(), 1) + "%"});
+    t.row({"3-stage streaming pipeline (filter->steer->equalize)",
+           Table::num(pipelineCycles / 1000),
+           Table::num(static_cast<double>(pipelineCycles) / outputs,
+                      2),
+           Table::num(100.0 * m.memoryFraction(), 1) + "%"});
+    t.render(std::cout);
+
+    std::cout
+        << "\nNote the per-output cost of the pipelined version "
+           "covers THREE kernels, not\none: the filter bank's 16 "
+           "ops/element dominates and beam steering itself\nrides "
+           "along nearly for free, limited by arithmetic rather "
+           "than by the two\nmemory streams — exactly the behavior "
+           "Section 4.4 predicts for a real\nradar pipeline.\n";
+    return 0;
+}

@@ -1,0 +1,338 @@
+#include "machine.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "sim/bitutil.hh"
+#include "sim/logging.hh"
+
+namespace triarch::imagine
+{
+
+ImagineMachine::ImagineMachine(const ImagineConfig &machine_config)
+    : cfg(machine_config), dram(cfg.memBytes, 0),
+      srf(cfg.srfBytes / 4, 0),
+      allocator(cfg.srfBytes, cfg.srfBlockBytes),
+      engineFree(cfg.memEngines, 0), group("imagine")
+{
+    for (unsigned e = 0; e < cfg.memEngines; ++e) {
+        channels.push_back(
+            std::make_unique<mem::DramModel>(cfg.dramChannel(e)));
+    }
+    group.addScalar("cluster_busy", &_clusterBusy,
+                    "cycles the cluster array executed kernels");
+    group.addScalar("mem_busy", &_memBusy,
+                    "engine cycles spent on stream transfers");
+    group.addScalar("mem_words", &_memWords, "words moved to/from DRAM");
+    group.addScalar("host_cycles", &_hostCycles,
+                    "host issue overhead cycles");
+    group.addScalar("useful_flops", &_usefulFlops,
+                    "algorithmically required flops");
+    group.addScalar("comm_ops", &_commOps, "inter-cluster words");
+    group.addScalar("kernels", &_kernels, "kernel invocations");
+    group.addScalar("stream_ops", &_streamOps, "stream load/store ops");
+    group.addScalar("desc_stalls", &_descStalls,
+                    "issues stalled on stream descriptor registers");
+}
+
+Addr
+ImagineMachine::allocMem(std::uint64_t bytes, const std::string &what)
+{
+    const Addr addr = roundUp(allocNext, 64);
+    if (addr + bytes > dram.size()) {
+        triarch_fatal("Imagine DRAM exhausted allocating ", bytes,
+                      " bytes for ", what);
+    }
+    allocNext = addr + bytes;
+    return addr;
+}
+
+void
+ImagineMachine::pokeWords(Addr addr, std::span<const Word> words)
+{
+    triarch_assert(addr + words.size() * 4 <= dram.size(),
+                   "poke outside DRAM");
+    std::memcpy(dram.data() + addr, words.data(), words.size() * 4);
+}
+
+std::vector<Word>
+ImagineMachine::peekWords(Addr addr, std::size_t count) const
+{
+    triarch_assert(addr + count * 4 <= dram.size(), "peek outside DRAM");
+    std::vector<Word> out(count);
+    std::memcpy(out.data(), dram.data() + addr, count * 4);
+    return out;
+}
+
+StreamRef
+ImagineMachine::allocStream(unsigned words, const std::string &what)
+{
+    return allocator.alloc(words, what);
+}
+
+void
+ImagineMachine::freeStream(const StreamRef &ref)
+{
+    allocator.free(ref);
+    for (auto it = readyList.begin(); it != readyList.end(); ++it) {
+        if (it->first == ref.id) {
+            readyList.erase(it);
+            break;
+        }
+    }
+}
+
+std::span<Word>
+ImagineMachine::srfData(const StreamRef &ref)
+{
+    triarch_assert(ref.valid(), "invalid stream");
+    return {srf.data() + ref.offsetWords, ref.words};
+}
+
+std::span<const Word>
+ImagineMachine::srfData(const StreamRef &ref) const
+{
+    triarch_assert(ref.valid(), "invalid stream");
+    return {srf.data() + ref.offsetWords, ref.words};
+}
+
+Cycles
+ImagineMachine::streamReady(const StreamRef &ref) const
+{
+    for (const auto &[id, when] : readyList) {
+        if (id == ref.id)
+            return when;
+    }
+    return 0;
+}
+
+void
+ImagineMachine::setStreamReady(const StreamRef &ref, Cycles when)
+{
+    for (auto &[id, entry] : readyList) {
+        if (id == ref.id) {
+            entry = when;
+            return;
+        }
+    }
+    readyList.emplace_back(ref.id, when);
+}
+
+Cycles
+ImagineMachine::issueOp()
+{
+    hostCycle += cfg.hostIssueCycles;
+    _hostCycles += cfg.hostIssueCycles;
+    if (inflight.size() >= cfg.streamDescRegs) {
+        const Cycles oldest = inflight.front();
+        inflight.pop_front();
+        if (oldest > hostCycle) {
+            ++_descStalls;
+            hostCycle = oldest;
+        }
+    }
+    return hostCycle;
+}
+
+void
+ImagineMachine::loadStream(const StreamRef &ref,
+                           const MemPattern &pattern)
+{
+    triarch_assert(pattern.totalWords() == ref.words,
+                   "stream/pattern length mismatch");
+    triarch_assert(pattern.base
+                       + (pattern.records - 1) * pattern.strideBytes
+                       + pattern.recordWords * 4 <= dram.size(),
+                   "stream load outside DRAM");
+
+    // Functional copy DRAM -> SRF, record by record.
+    Word *dst = srf.data() + ref.offsetWords;
+    for (unsigned r = 0; r < pattern.records; ++r) {
+        std::memcpy(dst + static_cast<std::size_t>(r)
+                    * pattern.recordWords,
+                    dram.data() + pattern.base + r * pattern.strideBytes,
+                    pattern.recordWords * 4);
+    }
+
+    const Cycles issued = issueOp();
+    const unsigned e = static_cast<unsigned>(
+        std::min_element(engineFree.begin(), engineFree.end())
+        - engineFree.begin());
+    const Cycles start = std::max(issued, engineFree[e]);
+
+    mem::AccessWindow window{start, start};
+    for (unsigned r = 0; r < pattern.records; ++r) {
+        window = channels[e]->access(
+            pattern.base + r * pattern.strideBytes, pattern.recordWords,
+            start);
+    }
+    // The engine itself moves at most one word per cycle.
+    const Cycles engineTime = start + pattern.totalWords();
+    const Cycles finish = std::max(window.finish, engineTime);
+
+    engineFree[e] = finish;
+    setStreamReady(ref, finish);
+    inflight.push_back(finish);
+    lastFinish = std::max(lastFinish, finish);
+    _memBusy += finish - start;
+    _memWords += pattern.totalWords();
+    ++_streamOps;
+}
+
+void
+ImagineMachine::storeStream(const StreamRef &ref,
+                            const MemPattern &pattern)
+{
+    triarch_assert(pattern.totalWords() == ref.words,
+                   "stream/pattern length mismatch");
+
+    // Functional copy SRF -> DRAM.
+    const Word *src = srf.data() + ref.offsetWords;
+    for (unsigned r = 0; r < pattern.records; ++r) {
+        std::memcpy(dram.data() + pattern.base + r * pattern.strideBytes,
+                    src + static_cast<std::size_t>(r)
+                    * pattern.recordWords,
+                    pattern.recordWords * 4);
+    }
+
+    const Cycles issued = issueOp();
+    const unsigned e = static_cast<unsigned>(
+        std::min_element(engineFree.begin(), engineFree.end())
+        - engineFree.begin());
+    const Cycles start =
+        std::max({issued, engineFree[e], streamReady(ref)});
+
+    mem::AccessWindow window{start, start};
+    for (unsigned r = 0; r < pattern.records; ++r) {
+        window = channels[e]->access(
+            pattern.base + r * pattern.strideBytes, pattern.recordWords,
+            start);
+    }
+    const Cycles engineTime = start + pattern.totalWords();
+    const Cycles finish = std::max(window.finish, engineTime);
+
+    engineFree[e] = finish;
+    inflight.push_back(finish);
+    lastFinish = std::max(lastFinish, finish);
+    _memBusy += finish - start;
+    _memWords += pattern.totalWords();
+    ++_streamOps;
+}
+
+Cycles
+ImagineMachine::kernelIi(const KernelDesc &desc) const
+{
+    const Cycles ii = std::max<Cycles>(
+        {1,
+         ceilDiv(desc.adds, cfg.addersPerCluster),
+         ceilDiv(desc.mults, cfg.multsPerCluster),
+         ceilDiv(desc.divs, cfg.dividersPerCluster),
+         ceilDiv(desc.comm, cfg.commPerCluster),
+         ceilDiv(desc.srfWords, cfg.srfWordsPerClusterCycle)});
+    return ii;
+}
+
+void
+ImagineMachine::runKernel(const KernelDesc &desc,
+                          std::initializer_list<const StreamRef *> inputs,
+                          std::initializer_list<const StreamRef *> outputs,
+                          const std::function<void()> &fn)
+{
+    // Functional execution against current SRF contents.
+    fn();
+
+    hostCycle += cfg.hostIssueCycles;
+    _hostCycles += cfg.hostIssueCycles;
+
+    Cycles start = std::max(hostCycle, clusterFree);
+    for (const StreamRef *in : inputs) {
+        if (in->valid())
+            start = std::max(start, streamReady(*in));
+    }
+
+    const Cycles ii = kernelIi(desc);
+    const Cycles busy =
+        (static_cast<Cycles>(desc.iterations) + desc.pipelineDepth) * ii;
+    const Cycles finish = start + busy;
+
+    clusterFree = finish;
+    for (const StreamRef *out : outputs) {
+        if (out->valid())
+            setStreamReady(*out, finish);
+    }
+    lastFinish = std::max(lastFinish, finish);
+
+    _clusterBusy += busy;
+    _usefulFlops += desc.usefulFlops;
+    _commOps += static_cast<std::uint64_t>(desc.comm) * desc.iterations
+                * cfg.clusters;
+    ++_kernels;
+}
+
+Cycles
+ImagineMachine::completionTime() const
+{
+    return std::max(lastFinish, hostCycle);
+}
+
+void
+ImagineMachine::resetTiming()
+{
+    hostCycle = 0;
+    clusterFree = 0;
+    std::fill(engineFree.begin(), engineFree.end(), Cycles{0});
+    for (auto &ch : channels)
+        ch->resetState();
+    readyList.clear();
+    inflight.clear();
+    lastFinish = 0;
+    group.resetAll();
+}
+
+double
+ImagineMachine::aluUtilization() const
+{
+    const Cycles total = completionTime();
+    if (total == 0)
+        return 0.0;
+    const double peakPerCycle =
+        static_cast<double>(cfg.clusters)
+        * (cfg.addersPerCluster + cfg.multsPerCluster
+           + cfg.dividersPerCluster);
+    return static_cast<double>(_usefulFlops.value())
+           / (static_cast<double>(total) * peakPerCycle);
+}
+
+double
+ImagineMachine::memoryFraction() const
+{
+    const Cycles total = completionTime();
+    if (total == 0)
+        return 0.0;
+    return std::min(1.0, static_cast<double>(_memBusy.value())
+                    / static_cast<double>(total * cfg.memEngines));
+}
+
+std::string
+ImagineMachine::describe() const
+{
+    std::ostringstream os;
+    os << "Imagine (stream processor, Stanford)\n"
+       << "  " << cfg.clusters << " SIMD ALU clusters x ("
+       << cfg.addersPerCluster << " adders + " << cfg.multsPerCluster
+       << " multipliers + " << cfg.dividersPerCluster
+       << " divider + comm unit)\n"
+       << "  stream register file: " << cfg.srfBytes / 1024
+       << " KB in " << cfg.srfBlockBytes << "-byte blocks\n"
+       << "  " << cfg.memEngines
+       << " memory stream engines, 1 word/cycle each, off-chip SDRAM\n"
+       << "  clock " << cfg.clockMhz << " MHz, peak "
+       << (cfg.clockMhz / 1000.0 * cfg.clusters
+           * (cfg.addersPerCluster + cfg.multsPerCluster
+              + cfg.dividersPerCluster))
+       << " GFLOPS (32-bit)\n";
+    return os.str();
+}
+
+} // namespace triarch::imagine

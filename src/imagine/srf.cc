@@ -1,0 +1,67 @@
+#include "srf.hh"
+
+#include "sim/bitutil.hh"
+#include "sim/logging.hh"
+
+namespace triarch::imagine
+{
+
+SrfAllocator::SrfAllocator(std::uint64_t srf_bytes, unsigned block_bytes)
+    : blockBytes(block_bytes),
+      used(srf_bytes / block_bytes, false)
+{
+    triarch_assert(srf_bytes % block_bytes == 0,
+                   "SRF size must be a multiple of the block size");
+}
+
+StreamRef
+SrfAllocator::alloc(unsigned words, const std::string &what)
+{
+    triarch_assert(words > 0, "empty stream allocation for ", what);
+    const unsigned blocks = static_cast<unsigned>(
+        ceilDiv(static_cast<std::uint64_t>(words) * 4, blockBytes));
+
+    // First fit over the block map.
+    unsigned run = 0;
+    for (unsigned b = 0; b < used.size(); ++b) {
+        run = used[b] ? 0 : run + 1;
+        if (run == blocks) {
+            const unsigned start = b + 1 - blocks;
+            for (unsigned i = start; i <= b; ++i)
+                used[i] = true;
+            usedBlocks += blocks;
+            _peak = std::max(_peak, usedBlocks);
+
+            StreamRef ref;
+            ref.id = nextId++;
+            ref.offsetWords = start * (blockBytes / 4);
+            ref.words = words;
+            live.emplace_back(ref.id, (start << 16) | blocks);
+            return ref;
+        }
+    }
+    triarch_fatal("SRF exhausted allocating ", words, " words for ",
+                  what, " (", usedBlocks, "/", used.size(),
+                  " blocks in use) — strip-mine the stream");
+}
+
+void
+SrfAllocator::free(const StreamRef &ref)
+{
+    for (auto it = live.begin(); it != live.end(); ++it) {
+        if (it->first == ref.id) {
+            const unsigned start = it->second >> 16;
+            const unsigned blocks = it->second & 0xFFFF;
+            for (unsigned i = start; i < start + blocks; ++i) {
+                triarch_assert(used[i], "SRF double free");
+                used[i] = false;
+            }
+            usedBlocks -= blocks;
+            live.erase(it);
+            return;
+        }
+    }
+    triarch_panic("freeing unknown SRF stream id ", ref.id);
+}
+
+} // namespace triarch::imagine

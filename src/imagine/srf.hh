@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Stream register file allocator: streams occupy whole 128-byte
+ * blocks and can start only at block boundaries (Section 2.2). The
+ * allocator is first-fit over the block map; kernels that need more
+ * SRF than exists must strip-mine their data, exactly like the
+ * paper's corner-turn implementation.
+ */
+
+#ifndef TRIARCH_IMAGINE_SRF_HH
+#define TRIARCH_IMAGINE_SRF_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace triarch::imagine
+{
+
+/** Handle to an allocated SRF stream. */
+struct StreamRef
+{
+    unsigned id = ~0u;          //!< allocation id (for readiness)
+    unsigned offsetWords = 0;   //!< word offset into the SRF
+    unsigned words = 0;         //!< stream length in 32-bit words
+
+    bool valid() const { return id != ~0u; }
+};
+
+/** Block-granular first-fit allocator over the SRF. */
+class SrfAllocator
+{
+  public:
+    SrfAllocator(std::uint64_t srf_bytes, unsigned block_bytes);
+
+    /**
+     * Allocate a stream of @p words 32-bit words; fatal if the SRF
+     * is exhausted (the kernel mapping must strip-mine instead).
+     */
+    StreamRef alloc(unsigned words, const std::string &what);
+
+    /** Release a stream's blocks. */
+    void free(const StreamRef &ref);
+
+    /** Blocks currently allocated. */
+    unsigned blocksInUse() const { return usedBlocks; }
+
+    unsigned totalBlocks() const
+    {
+        return static_cast<unsigned>(used.size());
+    }
+
+    /** High-water mark of block usage (for occupancy stats). */
+    unsigned peakBlocks() const { return _peak; }
+
+  private:
+    unsigned blockBytes;
+    std::vector<bool> used;
+    std::vector<std::pair<unsigned, unsigned>> live;   //!< id->block,count
+    unsigned nextId = 0;
+    unsigned usedBlocks = 0;
+    unsigned _peak = 0;
+};
+
+} // namespace triarch::imagine
+
+#endif // TRIARCH_IMAGINE_SRF_HH

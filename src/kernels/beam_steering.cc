@@ -1,0 +1,57 @@
+#include "beam_steering.hh"
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace triarch::kernels
+{
+
+BeamTables
+makeBeamTables(const BeamConfig &cfg, std::uint64_t seed)
+{
+    Rng rng(seed);
+    auto gen = [&rng](unsigned n, std::int32_t range) {
+        std::vector<std::int32_t> v(n);
+        for (auto &x : v) {
+            x = static_cast<std::int32_t>(rng.nextBelow(2 * range))
+                - range;
+        }
+        return v;
+    };
+
+    BeamTables t;
+    t.calCoarse = gen(cfg.elements, 1 << 20);
+    t.calFine = gen(cfg.elements, 1 << 12);
+    t.steerBase = gen(cfg.directions, 1 << 18);
+    t.steerDelta = gen(cfg.directions, 1 << 8);
+    t.dwellOffset = gen(cfg.dwells, 1 << 14);
+    t.bias = static_cast<std::int32_t>(rng.nextBelow(1 << 10));
+    return t;
+}
+
+std::vector<std::int32_t>
+beamSteerReference(const BeamConfig &cfg, const BeamTables &tables)
+{
+    triarch_assert(tables.calCoarse.size() == cfg.elements,
+                   "table shape mismatch");
+    std::vector<std::int32_t> out(cfg.outputs());
+
+    std::size_t idx = 0;
+    for (unsigned dw = 0; dw < cfg.dwells; ++dw) {
+        for (unsigned dir = 0; dir < cfg.directions; ++dir) {
+            std::int32_t acc = tables.steerBase[dir];
+            for (unsigned e = 0; e < cfg.elements; ++e) {
+                acc += tables.steerDelta[dir];                  // add 1
+                std::int32_t t =
+                    tables.calCoarse[e] + tables.calFine[e];    // add 2
+                t += acc;                                       // add 3
+                t += tables.dwellOffset[dw];                    // add 4
+                t += tables.bias;                               // add 5
+                out[idx++] = t >> cfg.shift;                    // shift
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace triarch::kernels

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Beam steering (Section 3.3): computes the phase for every antenna
+ * element of a phased-array radar from calibration tables. Per output
+ * the kernel performs exactly 2 table reads, 5 integer additions, one
+ * arithmetic shift, and 1 write — low arithmetic intensity that makes
+ * the kernel a memory bandwidth/latency probe.
+ *
+ * Paper parameters: 1608 antenna elements, up to 4 steering
+ * directions per dwell. The study runs 8 dwells per invocation so the
+ * cycle counts are comparable to Table 3 (51,456 outputs).
+ */
+
+#ifndef TRIARCH_KERNELS_BEAM_STEERING_HH
+#define TRIARCH_KERNELS_BEAM_STEERING_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace triarch::kernels
+{
+
+/** Problem shape and fixed-point scaling. */
+struct BeamConfig
+{
+    unsigned elements = 1608;   //!< antenna elements
+    unsigned directions = 4;    //!< steering directions per dwell
+    unsigned dwells = 8;        //!< dwells per invocation
+    unsigned shift = 6;         //!< fixed-point phase normalization
+
+    std::uint64_t
+    outputs() const
+    {
+        return static_cast<std::uint64_t>(elements) * directions
+               * dwells;
+    }
+};
+
+/** Calibration and steering tables (synthetic stand-ins). */
+struct BeamTables
+{
+    std::vector<std::int32_t> calCoarse;    //!< per element
+    std::vector<std::int32_t> calFine;      //!< per element
+    std::vector<std::int32_t> steerBase;    //!< per direction
+    std::vector<std::int32_t> steerDelta;   //!< per direction
+    std::vector<std::int32_t> dwellOffset;  //!< per dwell
+    std::int32_t bias = 0;
+};
+
+/** Deterministic synthetic tables for @p cfg. */
+BeamTables makeBeamTables(const BeamConfig &cfg, std::uint64_t seed);
+
+/**
+ * Reference computation. Output layout is
+ * out[((dwell * directions) + dir) * elements + elem]. For each
+ * output: acc += steerDelta (add 1); t = calCoarse[e] + calFine[e]
+ * (add 2); t += acc (add 3); t += dwellOffset (add 4); t += bias
+ * (add 5); out = t >> shift (1 shift).
+ */
+std::vector<std::int32_t> beamSteerReference(const BeamConfig &cfg,
+                                             const BeamTables &tables);
+
+/** Per-output operation counts (fixed by the kernel definition). */
+struct BeamOps
+{
+    static constexpr unsigned adds = 5;
+    static constexpr unsigned shifts = 1;
+    static constexpr unsigned reads = 2;
+    static constexpr unsigned writes = 1;
+};
+
+} // namespace triarch::kernels
+
+#endif // TRIARCH_KERNELS_BEAM_STEERING_HH

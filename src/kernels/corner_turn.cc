@@ -1,0 +1,64 @@
+#include "corner_turn.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace triarch::kernels
+{
+
+void
+fillMatrix(WordMatrix &m, std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (auto &w : m.data)
+        w = static_cast<Word>(rng.next());
+}
+
+void
+transposeNaive(const WordMatrix &src, WordMatrix &dst)
+{
+    triarch_assert(dst.rows == src.cols && dst.cols == src.rows,
+                   "transpose shape mismatch");
+    for (unsigned r = 0; r < src.rows; ++r) {
+        for (unsigned c = 0; c < src.cols; ++c)
+            dst.at(c, r) = src.at(r, c);
+    }
+}
+
+void
+transposeBlocked(const WordMatrix &src, WordMatrix &dst,
+                 unsigned blockSize)
+{
+    triarch_assert(dst.rows == src.cols && dst.cols == src.rows,
+                   "transpose shape mismatch");
+    triarch_assert(blockSize > 0, "block size must be positive");
+
+    for (unsigned br = 0; br < src.rows; br += blockSize) {
+        const unsigned rEnd = std::min(br + blockSize, src.rows);
+        for (unsigned bc = 0; bc < src.cols; bc += blockSize) {
+            const unsigned cEnd = std::min(bc + blockSize, src.cols);
+            for (unsigned r = br; r < rEnd; ++r) {
+                for (unsigned c = bc; c < cEnd; ++c)
+                    dst.at(c, r) = src.at(r, c);
+            }
+        }
+    }
+}
+
+bool
+isTransposeOf(const WordMatrix &src, const WordMatrix &dst)
+{
+    if (dst.rows != src.cols || dst.cols != src.rows)
+        return false;
+    for (unsigned r = 0; r < src.rows; ++r) {
+        for (unsigned c = 0; c < src.cols; ++c) {
+            if (dst.at(c, r) != src.at(r, c))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace triarch::kernels

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The corner turn: an out-of-place matrix transpose of 32-bit words,
+ * the paper's memory-bandwidth stress kernel (Section 3.1). The study
+ * size is 1024x1024 x 4-byte elements — larger than Imagine's SRF
+ * (128 KB) and Raw's aggregate tile memory, smaller than VIRAM's
+ * 13 MB of on-chip DRAM.
+ */
+
+#ifndef TRIARCH_KERNELS_CORNER_TURN_HH
+#define TRIARCH_KERNELS_CORNER_TURN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace triarch::kernels
+{
+
+/** A dense row-major matrix of 32-bit words. */
+struct WordMatrix
+{
+    unsigned rows = 0;
+    unsigned cols = 0;
+    std::vector<Word> data;
+
+    WordMatrix() = default;
+
+    WordMatrix(unsigned r, unsigned c)
+        : rows(r), cols(c),
+          data(static_cast<std::size_t>(r) * c, 0)
+    {
+    }
+
+    Word &
+    at(unsigned r, unsigned c)
+    {
+        return data[static_cast<std::size_t>(r) * cols + c];
+    }
+
+    Word
+    at(unsigned r, unsigned c) const
+    {
+        return data[static_cast<std::size_t>(r) * cols + c];
+    }
+
+    bool operator==(const WordMatrix &) const = default;
+};
+
+/** Fill @p m with a deterministic pattern derived from @p seed. */
+void fillMatrix(WordMatrix &m, std::uint64_t seed);
+
+/** dst(c, r) = src(r, c), walking the source row-major. */
+void transposeNaive(const WordMatrix &src, WordMatrix &dst);
+
+/**
+ * Blocked transpose with square blocks of @p blockSize (the last
+ * block in each dimension may be partial). This is the algorithm the
+ * conventional and VIRAM/Raw mappings build on: 16x16 blocks fit the
+ * VIRAM vector registers, 64x64-word blocks fit one Raw tile memory.
+ */
+void transposeBlocked(const WordMatrix &src, WordMatrix &dst,
+                      unsigned blockSize);
+
+/** True iff dst is exactly the transpose of src. */
+bool isTransposeOf(const WordMatrix &src, const WordMatrix &dst);
+
+} // namespace triarch::kernels
+
+#endif // TRIARCH_KERNELS_CORNER_TURN_HH

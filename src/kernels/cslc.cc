@@ -1,0 +1,282 @@
+#include "cslc.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace triarch::kernels
+{
+
+namespace
+{
+
+/** Complex gain with unit-ish magnitude and random phase. */
+cfloat
+randomGain(Rng &rng, float magnitude)
+{
+    const float phase =
+        2.0f * static_cast<float>(std::numbers::pi) * rng.nextFloat();
+    return cfloat(magnitude * std::cos(phase),
+                  magnitude * std::sin(phase));
+}
+
+/** FFT of the @p band-th sub-band of channel @p x. */
+std::vector<cfloat>
+subBandSpectrum(const CslcConfig &cfg, const std::vector<cfloat> &x,
+                unsigned band)
+{
+    const unsigned off = band * cfg.subBandStride;
+    std::vector<cfloat> block(x.begin() + off,
+                              x.begin() + off + cfg.subBandLen);
+    fftMixed128(block);
+    return block;
+}
+
+} // namespace
+
+CslcInput
+makeJammedInput(const CslcConfig &cfg,
+                const std::vector<unsigned> &jammerBins,
+                std::uint64_t seed)
+{
+    triarch_assert((cfg.subBands - 1) * cfg.subBandStride
+                       + cfg.subBandLen == cfg.samples,
+                   "sub-band tiling does not cover the interval");
+
+    Rng rng(seed);
+    CslcInput in;
+    in.main.assign(cfg.mainChannels,
+                   std::vector<cfloat>(cfg.samples));
+    in.aux.assign(cfg.auxChannels, std::vector<cfloat>(cfg.samples));
+
+    constexpr float signalAmp = 0.05f;
+    constexpr float jammerAmp = 1.0f;
+    constexpr float auxNoiseAmp = 1e-3f;
+
+    // Weak random signal of interest on the main channels only.
+    for (auto &chan : in.main) {
+        for (auto &v : chan) {
+            v = cfloat(signalAmp * rng.nextSignedFloat(),
+                       signalAmp * rng.nextSignedFloat());
+        }
+    }
+
+    // Strong jammer tones, received on every channel through channel-
+    // specific complex gains (side-lobe gains for main, direct for aux).
+    for (unsigned bin : jammerBins) {
+        std::vector<cfloat> mainGain, auxGain;
+        for (unsigned m = 0; m < cfg.mainChannels; ++m)
+            mainGain.push_back(randomGain(rng, jammerAmp));
+        for (unsigned a = 0; a < cfg.auxChannels; ++a)
+            auxGain.push_back(randomGain(rng, 2.0f * jammerAmp));
+
+        for (unsigned t = 0; t < cfg.samples; ++t) {
+            const float angle = 2.0f
+                * static_cast<float>(std::numbers::pi)
+                * static_cast<float>(bin) * static_cast<float>(t)
+                / static_cast<float>(cfg.samples);
+            const cfloat tone(std::cos(angle), std::sin(angle));
+            for (unsigned m = 0; m < cfg.mainChannels; ++m)
+                in.main[m][t] += mainGain[m] * tone;
+            for (unsigned a = 0; a < cfg.auxChannels; ++a)
+                in.aux[a][t] += auxGain[a] * tone;
+        }
+    }
+
+    // Receiver noise on the aux channels bounds cancellation depth.
+    for (auto &chan : in.aux) {
+        for (auto &v : chan) {
+            v += cfloat(auxNoiseAmp * rng.nextSignedFloat(),
+                        auxNoiseAmp * rng.nextSignedFloat());
+        }
+    }
+
+    return in;
+}
+
+CslcWeights
+estimateWeights(const CslcConfig &cfg, const CslcInput &in)
+{
+    triarch_assert(cfg.auxChannels == 2,
+                   "weight estimator assumes two aux channels");
+    const unsigned nbins = cfg.subBandLen;
+
+    // Per-bin cross spectra averaged over all sub-bands. Accumulate
+    // in double precision: the jammer dominates and we want the
+    // small-signal bins to stay small.
+    using dcomplex = std::complex<double>;
+    std::vector<std::vector<dcomplex>> mainXaux0(cfg.mainChannels,
+        std::vector<dcomplex>(nbins));
+    std::vector<dcomplex> aux1Xaux0(nbins);
+    std::vector<double> aux0Pow(nbins), aux1Pow(nbins);
+
+    std::vector<std::vector<std::vector<cfloat>>> mainSpec(
+        cfg.mainChannels);
+    std::vector<std::vector<cfloat>> aux0Spec, aux1Spec;
+
+    for (unsigned b = 0; b < cfg.subBands; ++b) {
+        auto a0 = subBandSpectrum(cfg, in.aux[0], b);
+        auto a1 = subBandSpectrum(cfg, in.aux[1], b);
+        for (unsigned k = 0; k < nbins; ++k) {
+            aux0Pow[k] += std::norm(dcomplex(a0[k]));
+            aux1Xaux0[k] += dcomplex(a1[k]) * std::conj(dcomplex(a0[k]));
+        }
+        for (unsigned m = 0; m < cfg.mainChannels; ++m) {
+            auto ms = subBandSpectrum(cfg, in.main[m], b);
+            for (unsigned k = 0; k < nbins; ++k) {
+                mainXaux0[m][k] +=
+                    dcomplex(ms[k]) * std::conj(dcomplex(a0[k]));
+            }
+            mainSpec[m].push_back(std::move(ms));
+        }
+        aux0Spec.push_back(std::move(a0));
+        aux1Spec.push_back(std::move(a1));
+    }
+
+    constexpr double eps = 1e-9;
+
+    // Gram-Schmidt: remove aux0 from aux1, then estimate each main
+    // channel against aux0 and the orthogonalized aux1.
+    std::vector<dcomplex> v(nbins);    // aux1 on aux0
+    for (unsigned k = 0; k < nbins; ++k)
+        v[k] = aux1Xaux0[k] / (aux0Pow[k] + eps);
+
+    std::vector<std::vector<dcomplex>> mainXaux1p(cfg.mainChannels,
+        std::vector<dcomplex>(nbins));
+    std::vector<double> aux1pPow(nbins);
+    for (unsigned b = 0; b < cfg.subBands; ++b) {
+        for (unsigned k = 0; k < nbins; ++k) {
+            const dcomplex a1p = dcomplex(aux1Spec[b][k])
+                - v[k] * dcomplex(aux0Spec[b][k]);
+            aux1pPow[k] += std::norm(a1p);
+            for (unsigned m = 0; m < cfg.mainChannels; ++m) {
+                mainXaux1p[m][k] +=
+                    dcomplex(mainSpec[m][b][k]) * std::conj(a1p);
+            }
+        }
+    }
+
+    CslcWeights weights;
+    weights.w.assign(cfg.mainChannels,
+        std::vector<std::vector<cfloat>>(cfg.auxChannels,
+            std::vector<cfloat>(static_cast<std::size_t>(cfg.subBands)
+                                * nbins)));
+
+    for (unsigned m = 0; m < cfg.mainChannels; ++m) {
+        for (unsigned k = 0; k < nbins; ++k) {
+            const dcomplex w0raw =
+                mainXaux0[m][k] / (aux0Pow[k] + eps);
+            const dcomplex w1 =
+                mainXaux1p[m][k] / (aux1pPow[k] + eps);
+            // out = main - w0*aux0 - w1*aux1 with
+            // aux1' = aux1 - v*aux0 folded into w0.
+            const dcomplex w0 = w0raw - w1 * v[k];
+            for (unsigned b = 0; b < cfg.subBands; ++b) {
+                weights.w[m][0][b * nbins + k] =
+                    cfloat(static_cast<float>(w0.real()),
+                           static_cast<float>(w0.imag()));
+                weights.w[m][1][b * nbins + k] =
+                    cfloat(static_cast<float>(w1.real()),
+                           static_cast<float>(w1.imag()));
+            }
+        }
+    }
+    return weights;
+}
+
+namespace
+{
+
+void
+forwardFft(std::vector<cfloat> &block, FftAlgo algo)
+{
+    if (algo == FftAlgo::Mixed128)
+        fftMixed128(block);
+    else
+        fftRadix2(block);
+}
+
+void
+inverseFft(std::vector<cfloat> &block, FftAlgo algo)
+{
+    if (algo == FftAlgo::Mixed128)
+        ifftMixed128(block);
+    else
+        ifft(block);
+}
+
+} // namespace
+
+CslcOutput
+cslcReference(const CslcConfig &cfg, const CslcInput &in,
+              const CslcWeights &weights, FftAlgo algo)
+{
+    const unsigned nbins = cfg.subBandLen;
+    CslcOutput out;
+    out.main.assign(cfg.mainChannels,
+        std::vector<cfloat>(static_cast<std::size_t>(cfg.subBands)
+                            * nbins));
+
+    auto spectrum = [&](const std::vector<cfloat> &x, unsigned band) {
+        const unsigned off = band * cfg.subBandStride;
+        std::vector<cfloat> block(x.begin() + off,
+                                  x.begin() + off + cfg.subBandLen);
+        forwardFft(block, algo);
+        return block;
+    };
+
+    for (unsigned b = 0; b < cfg.subBands; ++b) {
+        std::vector<std::vector<cfloat>> auxSpec;
+        for (unsigned a = 0; a < cfg.auxChannels; ++a)
+            auxSpec.push_back(spectrum(in.aux[a], b));
+
+        for (unsigned m = 0; m < cfg.mainChannels; ++m) {
+            auto spec = spectrum(in.main[m], b);
+            for (unsigned k = 0; k < nbins; ++k) {
+                cfloat acc = spec[k];
+                for (unsigned a = 0; a < cfg.auxChannels; ++a) {
+                    acc -= weights.w[m][a][b * nbins + k]
+                           * auxSpec[a][k];
+                }
+                spec[k] = acc;
+            }
+            inverseFft(spec, algo);
+            for (unsigned k = 0; k < nbins; ++k)
+                out.main[m][b * nbins + k] = spec[k];
+        }
+    }
+    return out;
+}
+
+double
+cancellationDepthDb(const CslcConfig &cfg, const CslcInput &in,
+                    const CslcOutput &processed)
+{
+    double before = 0.0, after = 0.0;
+    for (unsigned m = 0; m < cfg.mainChannels; ++m) {
+        for (unsigned b = 0; b < cfg.subBands; ++b) {
+            const unsigned off = b * cfg.subBandStride;
+            for (unsigned k = 0; k < cfg.subBandLen; ++k) {
+                before += std::norm(in.main[m][off + k]);
+                after += std::norm(
+                    processed.main[m][b * cfg.subBandLen + k]);
+            }
+        }
+    }
+    triarch_assert(after > 0.0, "processed output has zero power");
+    return 10.0 * std::log10(before / after);
+}
+
+std::uint64_t
+cslcFlops(const CslcConfig &cfg)
+{
+    const std::uint64_t perTransform = mixed128Ops().flops();
+    const std::uint64_t weightFlops =
+        static_cast<std::uint64_t>(cfg.subBands) * cfg.mainChannels
+        * cfg.subBandLen * (cfg.auxChannels * 8);
+    return cfg.transforms() * perTransform + weightFlops;
+}
+
+} // namespace triarch::kernels

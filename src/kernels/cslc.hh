@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Coherent side-lobe canceller (Section 3.2): cancels jammer energy
+ * received through the antenna side lobes using auxiliary channels.
+ *
+ * Paper configuration: four input channels (two main, two auxiliary),
+ * 8K complex samples per channel per processing interval, partitioned
+ * into 73 overlapping sub-bands of 128 samples (stride 112, overlap
+ * 16: 72 * 112 + 128 = 8192). Per sub-band the kernel runs a
+ * 128-point FFT on each channel, applies per-bin complex cancellation
+ * weights to the main channels, and inverse-transforms the result.
+ * FFT/IFFT dominate the arithmetic.
+ *
+ * The adaptive weight estimation is *calibration*, not part of the
+ * timed kernel (the paper times FFT + weight application + IFFT); it
+ * is provided here so tests can verify that jammer tones really are
+ * cancelled, which guards the whole pipeline's numerics.
+ */
+
+#ifndef TRIARCH_KERNELS_CSLC_HH
+#define TRIARCH_KERNELS_CSLC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fft.hh"
+
+namespace triarch::kernels
+{
+
+/** Problem shape. Defaults are the paper's. */
+struct CslcConfig
+{
+    unsigned mainChannels = 2;
+    unsigned auxChannels = 2;
+    unsigned samples = 8192;        //!< per channel per interval
+    unsigned subBands = 73;
+    unsigned subBandLen = 128;
+    unsigned subBandStride = 112;   //!< 72*112 + 128 == 8192
+
+    unsigned channels() const { return mainChannels + auxChannels; }
+
+    /** FFTs + IFFTs per interval: channels FFTs + main IFFTs. */
+    std::uint64_t
+    transforms() const
+    {
+        return static_cast<std::uint64_t>(subBands)
+               * (channels() + mainChannels);
+    }
+};
+
+/** One interval of input data, per channel time series. */
+struct CslcInput
+{
+    std::vector<std::vector<cfloat>> main;  //!< [mainChannels][samples]
+    std::vector<std::vector<cfloat>> aux;   //!< [auxChannels][samples]
+};
+
+/** Per-sub-band, per-bin cancellation weights. */
+struct CslcWeights
+{
+    /** weights[m][a][band * subBandLen + bin] */
+    std::vector<std::vector<std::vector<cfloat>>> w;
+};
+
+/** Cancelled sub-band spectra/time series per main channel. */
+struct CslcOutput
+{
+    /** out[m][band * subBandLen + k]: time-domain cancelled blocks. */
+    std::vector<std::vector<cfloat>> main;
+};
+
+/**
+ * Synthesize an interval: main channels carry a weak pseudo-random
+ * "signal of interest" plus strong jammer tones; aux channels see the
+ * same jammer tones through different complex gains plus receiver
+ * noise. @p jammerBins lists jammer tone frequencies as FFT bin
+ * indices of the full interval.
+ */
+CslcInput makeJammedInput(const CslcConfig &cfg,
+                          const std::vector<unsigned> &jammerBins,
+                          std::uint64_t seed);
+
+/**
+ * Estimate cancellation weights by averaging per-bin cross spectra
+ * over all sub-bands (classic sample-matrix-free sidelobe canceller
+ * with sequential aux cancellation). Calibration step, not timed.
+ */
+CslcWeights estimateWeights(const CslcConfig &cfg, const CslcInput &in);
+
+/**
+ * FFT algorithm selection for the reference pipeline. The paper uses
+ * the mixed-radix transform on VIRAM and Imagine and radix-2 on Raw;
+ * architecture models are validated against the matching variant so
+ * rounding differences do not mask mapping bugs.
+ */
+enum class FftAlgo { Mixed128, Radix2 };
+
+/**
+ * The timed kernel, reference implementation: per sub-band FFT all
+ * channels, subtract weighted aux spectra from each main spectrum,
+ * and IFFT the cancelled mains.
+ */
+CslcOutput cslcReference(const CslcConfig &cfg, const CslcInput &in,
+                         const CslcWeights &weights,
+                         FftAlgo algo = FftAlgo::Mixed128);
+
+/**
+ * Mean jammer power across main channels, measured in the sub-band
+ * spectra of @p processed vs the unprocessed input; the ratio in dB
+ * is the cancellation depth (larger is better).
+ */
+double cancellationDepthDb(const CslcConfig &cfg, const CslcInput &in,
+                           const CslcOutput &processed);
+
+/** Total flop count of the reference kernel (FFTs + weights + IFFTs). */
+std::uint64_t cslcFlops(const CslcConfig &cfg);
+
+} // namespace triarch::kernels
+
+#endif // TRIARCH_KERNELS_CSLC_HH

@@ -1,0 +1,146 @@
+#include "cache.hh"
+
+#include "sim/bitutil.hh"
+#include "sim/logging.hh"
+
+namespace triarch::mem
+{
+
+SetAssocCache::SetAssocCache(const CacheConfig &cache_config)
+    : cfg(cache_config), group(cfg.name)
+{
+    triarch_assert(isPowerOf2(cfg.lineBytes), "line size must be 2^n");
+    triarch_assert(cfg.assoc > 0, "associativity must be positive");
+    triarch_assert(cfg.sizeBytes % (cfg.lineBytes * cfg.assoc) == 0,
+                   "size must divide into sets");
+    numSets = cfg.sizeBytes / (cfg.lineBytes * cfg.assoc);
+    triarch_assert(isPowerOf2(numSets), "set count must be 2^n");
+    lines.resize(numSets * cfg.assoc);
+
+    group.addScalar("hits", &_hits, "cache hits");
+    group.addScalar("misses", &_misses, "cache misses");
+    group.addScalar("writebacks", &_writebacks, "dirty evictions");
+}
+
+std::uint64_t
+SetAssocCache::setOf(Addr addr) const
+{
+    return (addr / cfg.lineBytes) & (numSets - 1);
+}
+
+Addr
+SetAssocCache::tagOf(Addr addr) const
+{
+    return addr / cfg.lineBytes / numSets;
+}
+
+CacheResult
+SetAssocCache::access(Addr addr, bool write)
+{
+    const std::uint64_t set = setOf(addr);
+    const Addr tag = tagOf(addr);
+    Line *ways = &lines[set * cfg.assoc];
+    ++useClock;
+
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        if (ways[w].valid && ways[w].tag == tag) {
+            ways[w].lastUse = useClock;
+            ways[w].dirty = ways[w].dirty || write;
+            ++_hits;
+            return {true, std::nullopt};
+        }
+    }
+
+    ++_misses;
+
+    // Pick invalid way first, else true LRU.
+    unsigned victim = 0;
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        if (!ways[w].valid) {
+            victim = w;
+            break;
+        }
+        if (ways[w].lastUse < ways[victim].lastUse)
+            victim = w;
+    }
+
+    CacheResult result{false, std::nullopt};
+    if (ways[victim].valid && ways[victim].dirty) {
+        ++_writebacks;
+        const Addr victimAddr =
+            (ways[victim].tag * numSets + set) * cfg.lineBytes;
+        result.writebackAddr = victimAddr;
+    }
+
+    ways[victim] = {tag, true, write, useClock};
+    return result;
+}
+
+bool
+SetAssocCache::contains(Addr addr) const
+{
+    const std::uint64_t set = setOf(addr);
+    const Addr tag = tagOf(addr);
+    const Line *ways = &lines[set * cfg.assoc];
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        if (ways[w].valid && ways[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (auto &line : lines)
+        line = Line{};
+}
+
+Tlb::Tlb(std::string tlb_name, unsigned tlb_entries, Addr page_bytes,
+         Cycles miss_penalty)
+    : entries(tlb_entries), pageBytes(page_bytes),
+      missPenalty(miss_penalty), table(tlb_entries),
+      group(std::move(tlb_name))
+{
+    triarch_assert(entries > 0, "TLB needs entries");
+    triarch_assert(pageBytes >= 4, "page too small");
+    group.addScalar("hits", &_hits, "TLB hits");
+    group.addScalar("misses", &_misses, "TLB misses");
+}
+
+Cycles
+Tlb::access(Addr addr)
+{
+    const Addr page = addr / pageBytes;
+    ++useClock;
+
+    for (auto &e : table) {
+        if (e.valid && e.page == page) {
+            e.lastUse = useClock;
+            ++_hits;
+            return 0;
+        }
+    }
+
+    ++_misses;
+    Entry *victim = &table[0];
+    for (auto &e : table) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    *victim = {page, useClock, true};
+    return missPenalty;
+}
+
+void
+Tlb::flush()
+{
+    for (auto &e : table)
+        e = Entry{};
+}
+
+} // namespace triarch::mem

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * A set-associative write-back, write-allocate cache model with true
+ * LRU replacement. Used for the PowerPC G4 L1/L2 hierarchy and for
+ * Raw tiles running in cached (MIMD) mode.
+ *
+ * The model is timing-free: it classifies each access as hit or miss
+ * and reports the dirty victim, and the owning machine model charges
+ * whatever latency its memory system implies.
+ */
+
+#ifndef TRIARCH_MEM_CACHE_HH
+#define TRIARCH_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace triarch::mem
+{
+
+/** Cache geometry. Sizes must be powers of two. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 8;
+    unsigned lineBytes = 32;
+};
+
+/** Outcome of one cache access. */
+struct CacheResult
+{
+    bool hit = false;
+    /** Line-aligned address of a dirty line evicted by this access. */
+    std::optional<Addr> writebackAddr;
+};
+
+/** Set-associative LRU cache (tag store only). */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheConfig &cache_config);
+
+    /**
+     * Access one address. On a miss the line is allocated (evicting
+     * the LRU way, reporting it if dirty). @p write marks the line
+     * dirty on both hits and misses (write-allocate).
+     */
+    CacheResult access(Addr addr, bool write);
+
+    /** Probe without changing any state. */
+    bool contains(Addr addr) const;
+
+    /** Invalidate everything; dirty lines are dropped silently. */
+    void flush();
+
+    std::uint64_t hits() const { return _hits.value(); }
+    std::uint64_t misses() const { return _misses.value(); }
+    std::uint64_t writebacks() const { return _writebacks.value(); }
+    double
+    missRate() const
+    {
+        const auto total = hits() + misses();
+        return total ? static_cast<double>(misses()) / total : 0.0;
+    }
+
+    stats::StatGroup &statGroup() { return group; }
+    const CacheConfig &config() const { return cfg; }
+
+  private:
+    struct Line
+    {
+        Addr tag = ~Addr{0};
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t setOf(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheConfig cfg;
+    std::uint64_t numSets;
+    std::vector<Line> lines;    //!< numSets x assoc, row-major
+    std::uint64_t useClock = 0;
+
+    stats::StatGroup group;
+    stats::Scalar _hits;
+    stats::Scalar _misses;
+    stats::Scalar _writebacks;
+};
+
+/**
+ * A fully associative TLB with LRU replacement and a fixed refill
+ * penalty, matching the role TLB misses play in the VIRAM corner-turn
+ * overhead breakdown.
+ */
+class Tlb
+{
+  public:
+    Tlb(std::string tlb_name, unsigned tlb_entries, Addr page_bytes,
+        Cycles miss_penalty);
+
+    /** Translate; returns the refill penalty (0 on a hit). */
+    Cycles access(Addr addr);
+
+    void flush();
+
+    std::uint64_t hits() const { return _hits.value(); }
+    std::uint64_t misses() const { return _misses.value(); }
+    stats::StatGroup &statGroup() { return group; }
+
+  private:
+    struct Entry
+    {
+        Addr page = ~Addr{0};
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    unsigned entries;
+    Addr pageBytes;
+    Cycles missPenalty;
+    std::vector<Entry> table;
+    std::uint64_t useClock = 0;
+
+    stats::StatGroup group;
+    stats::Scalar _hits;
+    stats::Scalar _misses;
+};
+
+} // namespace triarch::mem
+
+#endif // TRIARCH_MEM_CACHE_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Bandwidth-limited transfer ports. A port moves words at a rational
+ * rate (words-per-cycle may be below 1, e.g. the G4 front-side bus
+ * runs at a tenth of the core clock) and tracks when it next becomes
+ * free, serializing overlapping requests.
+ */
+
+#ifndef TRIARCH_MEM_PORT_HH
+#define TRIARCH_MEM_PORT_HH
+
+#include <string>
+
+#include "sim/bitutil.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace triarch::mem
+{
+
+/** A half-duplex port with a fixed words/cycle rate. */
+class BandwidthPort
+{
+  public:
+    /**
+     * @param port_name      stat group name
+     * @param words_num      words moved per @p cycles_den cycles
+     * @param cycles_den     see above; rate = words_num / cycles_den
+     */
+    BandwidthPort(std::string port_name, unsigned words_num,
+                  unsigned cycles_den = 1)
+        : rateNum(words_num), rateDen(cycles_den),
+          group(std::move(port_name))
+    {
+        triarch_assert(rateNum > 0 && rateDen > 0,
+                       "port rate must be positive");
+        group.addScalar("words", &_words, "words transferred");
+        group.addScalar("busy_cycles", &_busy, "cycles port was busy");
+    }
+
+    /** Cycles needed to move @p nwords at this port's rate. */
+    Cycles
+    transferTime(std::uint64_t nwords) const
+    {
+        return ceilDiv(nwords * rateDen, rateNum);
+    }
+
+    /**
+     * Occupy the port for @p nwords starting no earlier than
+     * @p earliest; returns the cycle the last word arrives.
+     */
+    Cycles
+    transfer(std::uint64_t nwords, Cycles earliest)
+    {
+        const Cycles start = earliest > nextFree ? earliest : nextFree;
+        const Cycles dur = transferTime(nwords);
+        nextFree = start + dur;
+        _words += nwords;
+        _busy += dur;
+        return nextFree;
+    }
+
+    Cycles freeAt() const { return nextFree; }
+    void resetState() { nextFree = 0; }
+
+    std::uint64_t wordsMoved() const { return _words.value(); }
+    std::uint64_t busyCycles() const { return _busy.value(); }
+    stats::StatGroup &statGroup() { return group; }
+
+  private:
+    unsigned rateNum;
+    unsigned rateDen;
+    Cycles nextFree = 0;
+
+    stats::StatGroup group;
+    stats::Scalar _words;
+    stats::Scalar _busy;
+};
+
+} // namespace triarch::mem
+
+#endif // TRIARCH_MEM_PORT_HH

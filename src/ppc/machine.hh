@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The PowerPC G4 + AltiVec timing model. Unlike the research-chip
+ * models, this machine holds no data: instrumented kernel loops
+ * compute on host arrays and report their operations and memory
+ * accesses here; the model advances a cycle counter through the
+ * issue model, the L1/L2 cache simulation, and the front-side bus.
+ */
+
+#ifndef TRIARCH_PPC_MACHINE_HH
+#define TRIARCH_PPC_MACHINE_HH
+
+#include <string>
+
+#include "mem/cache.hh"
+#include "mem/port.hh"
+#include "ppc/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace triarch::ppc
+{
+
+/** The G4 baseline: issue model + caches + front-side bus. */
+class PpcMachine
+{
+  public:
+    explicit PpcMachine(const PpcConfig &machine_config = {});
+
+    const PpcConfig &config() const { return cfg; }
+
+    // ------------------------------------------------------------
+    // Operation reporting (the instrumented kernels call these).
+    // ------------------------------------------------------------
+
+    /** @p n integer ops; dependent chains issue one per cycle. */
+    void intOps(unsigned n, bool dependent = false);
+
+    /** @p n scalar FP ops; dependent chains pay the FP latency. */
+    void fpOps(unsigned n, bool dependent = false);
+
+    /**
+     * Scalar FP ops in compiled kernel code whose operands
+     * round-trip through memory (adds fpMemOverhead per op).
+     */
+    void fpOpsCompiled(unsigned n);
+
+    /** @p n AltiVec (4 x 32-bit) vector ops. */
+    void vecOps(unsigned n, bool dependent = false);
+
+    /** A 4-byte scalar load / store at @p addr. */
+    void load(Addr addr);
+    void store(Addr addr);
+
+    /** A 16-byte AltiVec load / store at @p addr. */
+    void vecLoad(Addr addr);
+    void vecStore(Addr addr);
+
+    // ------------------------------------------------------------
+    // Timing.
+    // ------------------------------------------------------------
+
+    Cycles cycles() const;
+    void resetTiming();
+
+    stats::StatGroup &statGroup() { return group; }
+    std::uint64_t l1Misses() const { return l1.misses(); }
+    std::uint64_t l2Misses() const { return l2.misses(); }
+    std::uint64_t fsbWords() const { return fsb.wordsMoved(); }
+    std::uint64_t memStallCycles() const { return _memStall.value(); }
+
+    /** Description of the baseline platform. */
+    std::string describe() const;
+
+  private:
+    /** Cache access for one granule; advances time appropriately. */
+    void memAccess(Addr addr, bool write, bool charge_hit);
+
+    PpcConfig cfg;
+    mem::SetAssocCache l1;
+    mem::SetAssocCache l2;
+    mem::BandwidthPort fsb;
+
+    double now = 0.0;
+
+    stats::StatGroup group;
+    stats::Scalar _intOps;
+    stats::Scalar _fpOps;
+    stats::Scalar _vecOps;
+    stats::Scalar _loads;
+    stats::Scalar _stores;
+    stats::Scalar _memStall;
+};
+
+} // namespace triarch::ppc
+
+#endif // TRIARCH_PPC_MACHINE_HH

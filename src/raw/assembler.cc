@@ -1,0 +1,309 @@
+#include "assembler.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace triarch::raw
+{
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop: return "nop";
+      case Op::Add: return "add";
+      case Op::Addi: return "addi";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Sll: return "sll";
+      case Op::Sra: return "sra";
+      case Op::Srl: return "srl";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Li: return "li";
+      case Op::FAdd: return "fadd";
+      case Op::FSub: return "fsub";
+      case Op::FMul: return "fmul";
+      case Op::Lw: return "lw";
+      case Op::Sw: return "sw";
+      case Op::Beq: return "beq";
+      case Op::Bne: return "bne";
+      case Op::Blt: return "blt";
+      case Op::Bge: return "bge";
+      case Op::Jump: return "jump";
+      case Op::Halt: return "halt";
+      case Op::Dsend: return "dsend";
+      case Op::Drecv: return "drecv";
+    }
+    return "?";
+}
+
+namespace
+{
+
+std::string
+regName(unsigned r)
+{
+    if (r == regCsti)
+        return "$csti";
+    if (r == regCsto)
+        return "$csto";
+    return "r" + std::to_string(r);
+}
+
+} // namespace
+
+std::string
+disassemble(const Instr &instr)
+{
+    std::ostringstream os;
+    os << opName(instr.op);
+    switch (instr.op) {
+      case Op::Nop:
+      case Op::Halt:
+        break;
+      case Op::Li:
+        os << " " << regName(instr.rd) << ", " << instr.imm;
+        break;
+      case Op::Addi:
+      case Op::Sll:
+      case Op::Sra:
+      case Op::Srl:
+        os << " " << regName(instr.rd) << ", " << regName(instr.rs)
+           << ", " << instr.imm;
+        break;
+      case Op::Lw:
+        os << " " << regName(instr.rd) << ", " << instr.imm << "("
+           << regName(instr.rs) << ")";
+        break;
+      case Op::Sw:
+        os << " " << regName(instr.rt) << ", " << instr.imm << "("
+           << regName(instr.rs) << ")";
+        break;
+      case Op::Beq:
+      case Op::Bne:
+      case Op::Blt:
+      case Op::Bge:
+        os << " " << regName(instr.rs) << ", " << regName(instr.rt)
+           << ", @" << instr.imm;
+        break;
+      case Op::Jump:
+        os << " @" << instr.imm;
+        break;
+      case Op::Dsend:
+        os << " " << regName(instr.rs) << " -> " << regName(instr.rt);
+        break;
+      case Op::Drecv:
+        os << " " << regName(instr.rd);
+        break;
+      default:
+        os << " " << regName(instr.rd) << ", " << regName(instr.rs)
+           << ", " << regName(instr.rt);
+        break;
+    }
+    return os.str();
+}
+
+Label
+Assembler::label()
+{
+    labelTargets.push_back(-1);
+    return {static_cast<unsigned>(labelTargets.size() - 1)};
+}
+
+void
+Assembler::bind(Label l)
+{
+    triarch_assert(l.id < labelTargets.size(), "unknown label");
+    triarch_assert(labelTargets[l.id] < 0, "label bound twice");
+    labelTargets[l.id] = static_cast<std::int64_t>(code.size());
+}
+
+void
+Assembler::emit(Op op, unsigned rd, unsigned rs, unsigned rt,
+                std::int32_t imm)
+{
+    triarch_assert(rd < numRegs && rs < numRegs && rt < numRegs,
+                   "register index out of range");
+    code.push_back({op, static_cast<std::uint8_t>(rd),
+                    static_cast<std::uint8_t>(rs),
+                    static_cast<std::uint8_t>(rt), imm});
+}
+
+void
+Assembler::add(unsigned rd, unsigned rs, unsigned rt)
+{
+    emit(Op::Add, rd, rs, rt, 0);
+}
+
+void
+Assembler::addi(unsigned rd, unsigned rs, std::int32_t imm)
+{
+    emit(Op::Addi, rd, rs, 0, imm);
+}
+
+void
+Assembler::sub(unsigned rd, unsigned rs, unsigned rt)
+{
+    emit(Op::Sub, rd, rs, rt, 0);
+}
+
+void
+Assembler::mul(unsigned rd, unsigned rs, unsigned rt)
+{
+    emit(Op::Mul, rd, rs, rt, 0);
+}
+
+void
+Assembler::sll(unsigned rd, unsigned rs, unsigned sh)
+{
+    emit(Op::Sll, rd, rs, 0, static_cast<std::int32_t>(sh));
+}
+
+void
+Assembler::sra(unsigned rd, unsigned rs, unsigned sh)
+{
+    emit(Op::Sra, rd, rs, 0, static_cast<std::int32_t>(sh));
+}
+
+void
+Assembler::srl(unsigned rd, unsigned rs, unsigned sh)
+{
+    emit(Op::Srl, rd, rs, 0, static_cast<std::int32_t>(sh));
+}
+
+void
+Assembler::and_(unsigned rd, unsigned rs, unsigned rt)
+{
+    emit(Op::And, rd, rs, rt, 0);
+}
+
+void
+Assembler::or_(unsigned rd, unsigned rs, unsigned rt)
+{
+    emit(Op::Or, rd, rs, rt, 0);
+}
+
+void
+Assembler::xor_(unsigned rd, unsigned rs, unsigned rt)
+{
+    emit(Op::Xor, rd, rs, rt, 0);
+}
+
+void
+Assembler::li(unsigned rd, std::int32_t imm)
+{
+    emit(Op::Li, rd, 0, 0, imm);
+}
+
+void
+Assembler::move(unsigned rd, unsigned rs)
+{
+    emit(Op::Add, rd, rs, 0, 0);
+}
+
+void
+Assembler::fadd(unsigned rd, unsigned rs, unsigned rt)
+{
+    emit(Op::FAdd, rd, rs, rt, 0);
+}
+
+void
+Assembler::fsub(unsigned rd, unsigned rs, unsigned rt)
+{
+    emit(Op::FSub, rd, rs, rt, 0);
+}
+
+void
+Assembler::fmul(unsigned rd, unsigned rs, unsigned rt)
+{
+    emit(Op::FMul, rd, rs, rt, 0);
+}
+
+void
+Assembler::dsend(unsigned rs, unsigned rt)
+{
+    emit(Op::Dsend, 0, rs, rt, 0);
+}
+
+void
+Assembler::drecv(unsigned rd)
+{
+    emit(Op::Drecv, rd, 0, 0, 0);
+}
+
+void
+Assembler::lw(unsigned rd, unsigned rs, std::int32_t imm)
+{
+    emit(Op::Lw, rd, rs, 0, imm);
+}
+
+void
+Assembler::sw(unsigned rt, unsigned rs, std::int32_t imm)
+{
+    emit(Op::Sw, 0, rs, rt, imm);
+}
+
+void
+Assembler::emitBranch(Op op, unsigned rs, unsigned rt, Label target)
+{
+    triarch_assert(target.id < labelTargets.size(), "unknown label");
+    fixups.emplace_back(static_cast<unsigned>(code.size()), target.id);
+    emit(op, 0, rs, rt, 0);
+}
+
+void
+Assembler::beq(unsigned rs, unsigned rt, Label target)
+{
+    emitBranch(Op::Beq, rs, rt, target);
+}
+
+void
+Assembler::bne(unsigned rs, unsigned rt, Label target)
+{
+    emitBranch(Op::Bne, rs, rt, target);
+}
+
+void
+Assembler::blt(unsigned rs, unsigned rt, Label target)
+{
+    emitBranch(Op::Blt, rs, rt, target);
+}
+
+void
+Assembler::bge(unsigned rs, unsigned rt, Label target)
+{
+    emitBranch(Op::Bge, rs, rt, target);
+}
+
+void
+Assembler::jump(Label target)
+{
+    emitBranch(Op::Jump, 0, 0, target);
+}
+
+void
+Assembler::halt()
+{
+    emit(Op::Halt, 0, 0, 0, 0);
+}
+
+std::vector<Instr>
+Assembler::finish()
+{
+    for (auto [instr, label] : fixups) {
+        triarch_assert(labelTargets[label] >= 0, "unbound label ",
+                       label);
+        code[instr].imm =
+            static_cast<std::int32_t>(labelTargets[label]);
+    }
+    std::vector<Instr> out = std::move(code);
+    code.clear();
+    labelTargets.clear();
+    fixups.clear();
+    return out;
+}
+
+} // namespace triarch::raw

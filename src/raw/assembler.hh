@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A macro-assembler for the Raw tile mini-ISA. Kernel mappings emit
+ * real instruction sequences (loops, unrolled bodies, address
+ * arithmetic) through this builder; labels resolve to instruction
+ * indices on finish().
+ */
+
+#ifndef TRIARCH_RAW_ASSEMBLER_HH
+#define TRIARCH_RAW_ASSEMBLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "raw/isa.hh"
+
+namespace triarch::raw
+{
+
+/** Forward-referencable branch target. */
+struct Label
+{
+    unsigned id = ~0u;
+};
+
+/** Builds a tile program; emit instructions then call finish(). */
+class Assembler
+{
+  public:
+    /** Create a label (bind it later with bind()). */
+    Label label();
+
+    /** Bind @p l to the next emitted instruction. */
+    void bind(Label l);
+
+    // Arithmetic / logic.
+    void add(unsigned rd, unsigned rs, unsigned rt);
+    void addi(unsigned rd, unsigned rs, std::int32_t imm);
+    void sub(unsigned rd, unsigned rs, unsigned rt);
+    void mul(unsigned rd, unsigned rs, unsigned rt);
+    void sll(unsigned rd, unsigned rs, unsigned sh);
+    void sra(unsigned rd, unsigned rs, unsigned sh);
+    void srl(unsigned rd, unsigned rs, unsigned sh);
+    void and_(unsigned rd, unsigned rs, unsigned rt);
+    void or_(unsigned rd, unsigned rs, unsigned rt);
+    void xor_(unsigned rd, unsigned rs, unsigned rt);
+    void li(unsigned rd, std::int32_t imm);
+    /** rd = rs (assembles to add rd, rs, r0). */
+    void move(unsigned rd, unsigned rs);
+
+    // Floating point (on register bit patterns).
+    void fadd(unsigned rd, unsigned rs, unsigned rt);
+    void fsub(unsigned rd, unsigned rs, unsigned rt);
+    void fmul(unsigned rd, unsigned rs, unsigned rt);
+
+    // Memory.
+    void lw(unsigned rd, unsigned rs, std::int32_t imm);
+    void sw(unsigned rt, unsigned rs, std::int32_t imm);
+
+    // Dynamic network.
+    /** Send the word in @p rt to the tile id held in @p rs. */
+    void dsend(unsigned rs, unsigned rt);
+    /** Blocking receive from the dynamic network into @p rd. */
+    void drecv(unsigned rd);
+
+    // Control.
+    void beq(unsigned rs, unsigned rt, Label target);
+    void bne(unsigned rs, unsigned rt, Label target);
+    void blt(unsigned rs, unsigned rt, Label target);
+    void bge(unsigned rs, unsigned rt, Label target);
+    void jump(Label target);
+    void halt();
+
+    /** Number of instructions emitted so far. */
+    std::size_t size() const { return code.size(); }
+
+    /** Resolve labels and return the program; the builder resets. */
+    std::vector<Instr> finish();
+
+  private:
+    void emit(Op op, unsigned rd, unsigned rs, unsigned rt,
+              std::int32_t imm);
+    void emitBranch(Op op, unsigned rs, unsigned rt, Label target);
+
+    std::vector<Instr> code;
+    std::vector<std::int64_t> labelTargets;     //!< -1 = unbound
+    std::vector<std::pair<unsigned, unsigned>> fixups; //!< instr,label
+};
+
+} // namespace triarch::raw
+
+#endif // TRIARCH_RAW_ASSEMBLER_HH

@@ -1,0 +1,560 @@
+#include "machine.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "sim/bitutil.hh"
+#include "sim/logging.hh"
+
+namespace triarch::raw
+{
+
+RawMachine::RawMachine(const RawConfig &machine_config)
+    : cfg(machine_config), tileState(cfg.tiles()), ports(cfg.tiles()),
+      global(cfg.globalBytes, 0), group("raw")
+{
+    for (unsigned t = 0; t < cfg.tiles(); ++t) {
+        tileState[t].sram.assign(cfg.sramBytes, 0);
+        mem::CacheConfig cc;
+        cc.name = "raw.tile" + std::to_string(t) + ".dcache";
+        cc.sizeBytes = cfg.cacheBytes;
+        cc.assoc = cfg.cacheAssoc;
+        cc.lineBytes = cfg.cacheLineBytes;
+        tileState[t].cache = std::make_unique<mem::SetAssocCache>(cc);
+        tileState[t].halted = true;     // no program yet
+    }
+    group.addScalar("instructions", &_instrs, "instructions retired");
+    group.addScalar("net_stalls", &_netStalls,
+                    "cycles stalled on empty network FIFO");
+    group.addScalar("dep_stalls", &_depStalls,
+                    "stalls on operand latency");
+    group.addScalar("cache_stall_cycles", &_cacheStalls,
+                    "cycles stalled on cache misses");
+    group.addScalar("loads_stores", &_ldst, "lw/sw instructions");
+    group.addScalar("fp_ops", &_fpops, "floating-point instructions");
+    group.addScalar("dma_in_words", &_wordsDmaIn, "words streamed in");
+    group.addScalar("dma_out_words", &_wordsDmaOut,
+                    "words streamed out");
+    group.addScalar("cycles", &_cycles, "total machine cycles");
+}
+
+Addr
+RawMachine::allocGlobal(std::uint64_t bytes, const std::string &what)
+{
+    const Addr addr = roundUp(allocNext, 64);
+    if (addr + bytes > global.size()) {
+        triarch_fatal("Raw global DRAM exhausted allocating ", bytes,
+                      " bytes for ", what);
+    }
+    allocNext = addr + bytes;
+    return globalBase + addr;
+}
+
+void
+RawMachine::pokeGlobal(Addr addr, std::span<const Word> words)
+{
+    triarch_assert(addr >= globalBase, "poke below global base");
+    const Addr off = addr - globalBase;
+    triarch_assert(off + words.size() * 4 <= global.size(),
+                   "poke outside global DRAM");
+    std::memcpy(global.data() + off, words.data(), words.size() * 4);
+}
+
+std::vector<Word>
+RawMachine::peekGlobal(Addr addr, std::size_t count) const
+{
+    triarch_assert(addr >= globalBase, "peek below global base");
+    const Addr off = addr - globalBase;
+    triarch_assert(off + count * 4 <= global.size(),
+                   "peek outside global DRAM");
+    std::vector<Word> out(count);
+    std::memcpy(out.data(), global.data() + off, count * 4);
+    return out;
+}
+
+void
+RawMachine::setProgram(unsigned tile, std::vector<Instr> program)
+{
+    triarch_assert(tile < cfg.tiles(), "tile out of range");
+    tileState[tile].program = std::move(program);
+    tileState[tile].pc = 0;
+    tileState[tile].halted = tileState[tile].program.empty();
+}
+
+void
+RawMachine::pokeLocal(unsigned tile, Addr byte_offset,
+                      std::span<const Word> words)
+{
+    triarch_assert(tile < cfg.tiles(), "tile out of range");
+    triarch_assert(byte_offset + words.size() * 4 <= cfg.sramBytes,
+                   "poke outside tile SRAM");
+    std::memcpy(tileState[tile].sram.data() + byte_offset, words.data(),
+                words.size() * 4);
+}
+
+std::vector<Word>
+RawMachine::peekLocal(unsigned tile, Addr byte_offset,
+                      std::size_t count) const
+{
+    triarch_assert(tile < cfg.tiles(), "tile out of range");
+    triarch_assert(byte_offset + count * 4 <= cfg.sramBytes,
+                   "peek outside tile SRAM");
+    std::vector<Word> out(count);
+    std::memcpy(out.data(), tileState[tile].sram.data() + byte_offset,
+                count * 4);
+    return out;
+}
+
+void
+RawMachine::setRoute(unsigned tile, unsigned endpoint)
+{
+    triarch_assert(tile < cfg.tiles(), "tile out of range");
+    triarch_assert(endpoint < cfg.tiles()
+                       || (endpoint >= 1000
+                           && endpoint < 1000 + cfg.tiles()),
+                   "bad route endpoint");
+    tileState[tile].route = endpoint;
+}
+
+void
+RawMachine::dmaIn(unsigned port, unsigned dstTile, Addr base,
+                  unsigned words)
+{
+    triarch_assert(port < ports.size() && dstTile < cfg.tiles(),
+                   "bad port or tile");
+    triarch_assert(base >= globalBase, "DMA below global base");
+    ports[port].inQueue.push_back({base - globalBase, words, dstTile});
+}
+
+void
+RawMachine::dmaOut(unsigned port, Addr base, unsigned words)
+{
+    triarch_assert(port < ports.size(), "bad port");
+    triarch_assert(base >= globalBase, "DMA below global base");
+    ports[port].outQueue.push_back({base - globalBase, words, 0});
+}
+
+unsigned
+RawMachine::hops(unsigned a, unsigned b) const
+{
+    const int ar = a / cfg.meshWidth, ac = a % cfg.meshWidth;
+    const int br = b / cfg.meshWidth, bc = b % cfg.meshWidth;
+    return static_cast<unsigned>(std::abs(ar - br) + std::abs(ac - bc));
+}
+
+void
+RawMachine::send(unsigned t, Word value, Cycles now)
+{
+    const unsigned route = tileState[t].route;
+    triarch_assert(route != ~0u, "tile ", t,
+                   " writes $csto without a configured route");
+    if (route >= 1000) {
+        // Peripheral port: one hop from the attached tile.
+        ports[route - 1000].arrivals.emplace_back(
+            now + cfg.netBaseLatency + 1, value);
+    } else {
+        const Cycles arrival =
+            now + cfg.netBaseLatency + std::max(1u, hops(t, route));
+        tileState[route].inFifo.emplace_back(arrival, value);
+    }
+}
+
+void
+RawMachine::stepTile(unsigned t, Cycles now)
+{
+    Tile &tile = tileState[t];
+    if (tile.halted || tile.stallUntil > now)
+        return;
+    triarch_assert(tile.pc < tile.program.size(),
+                   "tile ", t, " ran off its program");
+    const Instr &in = tile.program[tile.pc];
+
+    // Gather source registers for this opcode.
+    unsigned srcs[2];
+    unsigned nsrc = 0;
+    switch (in.op) {
+      case Op::Add: case Op::Sub: case Op::Mul:
+      case Op::And: case Op::Or: case Op::Xor:
+      case Op::FAdd: case Op::FSub: case Op::FMul:
+      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+        srcs[nsrc++] = in.rs;
+        srcs[nsrc++] = in.rt;
+        break;
+      case Op::Addi: case Op::Sll: case Op::Sra: case Op::Srl:
+      case Op::Lw:
+        srcs[nsrc++] = in.rs;
+        break;
+      case Op::Sw:
+      case Op::Dsend:
+        srcs[nsrc++] = in.rs;
+        srcs[nsrc++] = in.rt;
+        break;
+      default:
+        break;
+    }
+
+    // Network-input availability: each $csti source pops one word.
+    unsigned pops = 0;
+    for (unsigned i = 0; i < nsrc; ++i) {
+        if (srcs[i] == regCsti)
+            ++pops;
+    }
+    if (pops > 0) {
+        if (tile.inFifo.size() < pops
+            || tile.inFifo[pops - 1].first > now) {
+            ++_netStalls;
+            tile.stallUntil = now + 1;
+            return;
+        }
+    }
+
+    // Dynamic-network receive availability.
+    if (in.op == Op::Drecv) {
+        if (tile.dynFifo.empty() || tile.dynFifo.front().first > now) {
+            ++_netStalls;
+            tile.stallUntil = now + 1;
+            return;
+        }
+    }
+
+    // Operand readiness (scoreboarded latencies).
+    Cycles rdy = 0;
+    for (unsigned i = 0; i < nsrc; ++i) {
+        if (srcs[i] != regCsti && srcs[i] != 0)
+            rdy = std::max(rdy, tile.ready[srcs[i]]);
+    }
+    if (rdy > now) {
+        ++_depStalls;
+        tile.stallUntil = rdy;
+        return;
+    }
+
+    // If this instruction sends to a tile whose FIFO is full, block.
+    const bool sendsNet =
+        (in.op != Op::Sw && in.op != Op::Beq && in.op != Op::Bne
+         && in.op != Op::Blt && in.op != Op::Bge && in.op != Op::Jump
+         && in.op != Op::Halt && in.op != Op::Nop)
+        && in.rd == regCsto;
+    if (sendsNet && tile.route < 1000
+        && tileState[tile.route].inFifo.size() >= cfg.fifoCapacity) {
+        ++_netStalls;
+        tile.stallUntil = now + 1;
+        return;
+    }
+
+    auto readReg = [&](unsigned r) -> std::uint32_t {
+        if (r == regCsti) {
+            const Word v = tile.inFifo.front().second;
+            tile.inFifo.pop_front();
+            return v;
+        }
+        return r == 0 ? 0 : tile.regs[r];
+    };
+
+    auto writeReg = [&](unsigned rd, std::uint32_t v, Cycles lat) {
+        if (rd == regCsto) {
+            send(t, v, now);
+        } else if (rd != 0) {
+            tile.regs[rd] = v;
+            tile.ready[rd] = now + lat;
+        }
+    };
+
+    bool branched = false;
+    switch (in.op) {
+      case Op::Nop:
+        break;
+      case Op::Add:
+        writeReg(in.rd, readReg(in.rs) + readReg(in.rt),
+                 cfg.intLatency);
+        break;
+      case Op::Addi:
+        writeReg(in.rd, readReg(in.rs)
+                 + static_cast<std::uint32_t>(in.imm), cfg.intLatency);
+        break;
+      case Op::Sub:
+        writeReg(in.rd, readReg(in.rs) - readReg(in.rt),
+                 cfg.intLatency);
+        break;
+      case Op::Mul:
+        writeReg(in.rd, readReg(in.rs) * readReg(in.rt),
+                 cfg.mulLatency);
+        break;
+      case Op::Sll:
+        writeReg(in.rd, readReg(in.rs) << (in.imm & 31),
+                 cfg.intLatency);
+        break;
+      case Op::Sra:
+        writeReg(in.rd, static_cast<std::uint32_t>(
+                     static_cast<std::int32_t>(readReg(in.rs))
+                     >> (in.imm & 31)), cfg.intLatency);
+        break;
+      case Op::Srl:
+        writeReg(in.rd, readReg(in.rs) >> (in.imm & 31),
+                 cfg.intLatency);
+        break;
+      case Op::And:
+        writeReg(in.rd, readReg(in.rs) & readReg(in.rt),
+                 cfg.intLatency);
+        break;
+      case Op::Or:
+        writeReg(in.rd, readReg(in.rs) | readReg(in.rt),
+                 cfg.intLatency);
+        break;
+      case Op::Xor:
+        writeReg(in.rd, readReg(in.rs) ^ readReg(in.rt),
+                 cfg.intLatency);
+        break;
+      case Op::Li:
+        writeReg(in.rd, static_cast<std::uint32_t>(in.imm),
+                 cfg.intLatency);
+        break;
+      case Op::FAdd:
+        writeReg(in.rd, floatToWord(wordToFloat(readReg(in.rs))
+                                    + wordToFloat(readReg(in.rt))),
+                 cfg.fpLatency);
+        ++_fpops;
+        break;
+      case Op::FSub:
+        writeReg(in.rd, floatToWord(wordToFloat(readReg(in.rs))
+                                    - wordToFloat(readReg(in.rt))),
+                 cfg.fpLatency);
+        ++_fpops;
+        break;
+      case Op::FMul:
+        writeReg(in.rd, floatToWord(wordToFloat(readReg(in.rs))
+                                    * wordToFloat(readReg(in.rt))),
+                 cfg.fpLatency);
+        ++_fpops;
+        break;
+      case Op::Lw: {
+        const Addr addr = readReg(in.rs)
+                          + static_cast<std::uint32_t>(in.imm);
+        Word value = 0;
+        Cycles extra = 0;
+        if (addr >= globalBase) {
+            const Addr off = addr - globalBase;
+            triarch_assert(off + 4 <= global.size(),
+                           "tile ", t, " lw outside global DRAM");
+            std::memcpy(&value, global.data() + off, 4);
+            auto res = tile.cache->access(addr, false);
+            if (!res.hit) {
+                extra = cfg.cacheMissPenalty;
+                if (res.writebackAddr)
+                    extra += cfg.writebackPenalty;
+                _cacheStalls += extra;
+            }
+        } else {
+            triarch_assert(addr + 4 <= cfg.sramBytes,
+                           "tile ", t, " lw outside SRAM @", addr);
+            std::memcpy(&value, tile.sram.data() + addr, 4);
+        }
+        writeReg(in.rd, value, extra + cfg.loadLatency);
+        if (extra > 0)
+            tile.stallUntil = now + 1 + extra;
+        ++_ldst;
+        break;
+      }
+      case Op::Sw: {
+        const Addr addr = readReg(in.rs)
+                          + static_cast<std::uint32_t>(in.imm);
+        const Word value = readReg(in.rt);
+        if (addr >= globalBase) {
+            const Addr off = addr - globalBase;
+            triarch_assert(off + 4 <= global.size(),
+                           "tile ", t, " sw outside global DRAM");
+            std::memcpy(global.data() + off, &value, 4);
+            auto res = tile.cache->access(addr, true);
+            if (!res.hit) {
+                Cycles extra = cfg.cacheMissPenalty;
+                if (res.writebackAddr)
+                    extra += cfg.writebackPenalty;
+                _cacheStalls += extra;
+                tile.stallUntil = now + 1 + extra;
+            }
+        } else {
+            triarch_assert(addr + 4 <= cfg.sramBytes,
+                           "tile ", t, " sw outside SRAM @", addr);
+            std::memcpy(tile.sram.data() + addr, &value, 4);
+        }
+        ++_ldst;
+        break;
+      }
+      case Op::Dsend: {
+        const unsigned dest = readReg(in.rs);
+        const Word value = readReg(in.rt);
+        triarch_assert(dest < cfg.tiles(),
+                       "tile ", t, " dsend to bad tile ", dest);
+        tileState[dest].dynFifo.emplace_back(
+            now + cfg.dynBaseLatency + std::max(1u, hops(t, dest)),
+            value);
+        // The packet (header + data) occupies the injection port.
+        tile.stallUntil = now + cfg.dynSendOccupancy;
+        break;
+      }
+      case Op::Drecv:
+        writeReg(in.rd, tile.dynFifo.front().second, cfg.intLatency);
+        tile.dynFifo.pop_front();
+        break;
+      case Op::Beq:
+        branched = readReg(in.rs) == readReg(in.rt);
+        break;
+      case Op::Bne:
+        branched = readReg(in.rs) != readReg(in.rt);
+        break;
+      case Op::Blt:
+        branched = static_cast<std::int32_t>(readReg(in.rs))
+                   < static_cast<std::int32_t>(readReg(in.rt));
+        break;
+      case Op::Bge:
+        branched = static_cast<std::int32_t>(readReg(in.rs))
+                   >= static_cast<std::int32_t>(readReg(in.rt));
+        break;
+      case Op::Jump:
+        branched = true;
+        break;
+      case Op::Halt:
+        tile.halted = true;
+        tile.haltCycle = now;
+        break;
+    }
+
+    if (branched)
+        tile.pc = static_cast<unsigned>(in.imm);
+    else if (!tile.halted)
+        ++tile.pc;
+
+    ++tile.instrs;
+    ++_instrs;
+
+    if (logLevel() >= LogLevel::Debug) {
+        debugLog("raw tile ", t, " @", now, ": ",
+                 disassemble(in));
+    }
+}
+
+void
+RawMachine::stepPorts(Cycles now)
+{
+    for (auto &port : ports) {
+        // DMA in: stream one word per cycle into the tile FIFO.
+        if (!port.inQueue.empty() && port.inFree <= now) {
+            DmaSegment &seg = port.inQueue.front();
+            Tile &dst = tileState[seg.dstTile];
+            if (dst.inFifo.size() < cfg.fifoCapacity) {
+                const Addr a = seg.base + static_cast<Addr>(seg.done)
+                               * 4;
+                Word v = 0;
+                std::memcpy(&v, global.data() + a, 4);
+                dst.inFifo.emplace_back(
+                    now + cfg.netBaseLatency + 1, v);
+                ++_wordsDmaIn;
+
+                Cycles cost = 1;
+                const Addr row = a / cfg.portRowBytes;
+                if (row != port.inLastRow) {
+                    cost += cfg.portRowMissPenalty;
+                    port.inLastRow = row;
+                }
+                port.inFree = now + cost;
+                if (++seg.done == seg.words)
+                    port.inQueue.pop_front();
+            }
+        }
+
+        // DMA out: drain one arrived word per cycle to memory.
+        if (!port.outQueue.empty() && port.outFree <= now
+            && !port.arrivals.empty()
+            && port.arrivals.front().first <= now) {
+            DmaSegment &seg = port.outQueue.front();
+            const Word v = port.arrivals.front().second;
+            port.arrivals.pop_front();
+            const Addr a = seg.base + static_cast<Addr>(seg.done) * 4;
+            std::memcpy(global.data() + a, &v, 4);
+            ++_wordsDmaOut;
+
+            Cycles cost = 1;
+            const Addr row = a / cfg.portRowBytes;
+            if (row != port.outLastRow) {
+                cost += cfg.portRowMissPenalty;
+                port.outLastRow = row;
+            }
+            port.outFree = now + cost;
+            if (++seg.done == seg.words)
+                port.outQueue.pop_front();
+        }
+    }
+}
+
+bool
+RawMachine::allDone() const
+{
+    for (const auto &tile : tileState) {
+        if (!tile.halted)
+            return false;
+    }
+    for (const auto &port : ports) {
+        if (!port.inQueue.empty() || !port.outQueue.empty())
+            return false;
+        if (!port.arrivals.empty())
+            return false;
+    }
+    return true;
+}
+
+Cycles
+RawMachine::run()
+{
+    Cycles now = 0;
+    while (!allDone()) {
+        stepPorts(now);
+        for (unsigned t = 0; t < cfg.tiles(); ++t)
+            stepTile(t, now);
+        ++now;
+        if (now > cfg.maxCycles) {
+            triarch_fatal("Raw simulation exceeded ", cfg.maxCycles,
+                          " cycles — deadlock or runaway program");
+        }
+    }
+    _cycles.set(now);
+    return now;
+}
+
+std::uint64_t
+RawMachine::tileInstructions(unsigned tile) const
+{
+    triarch_assert(tile < cfg.tiles(), "tile out of range");
+    return tileState[tile].instrs;
+}
+
+std::uint64_t
+RawMachine::tileIdleAfterHalt(unsigned tile) const
+{
+    triarch_assert(tile < cfg.tiles(), "tile out of range");
+    if (!tileState[tile].halted || _cycles.value() == 0)
+        return 0;
+    return _cycles.value() - tileState[tile].haltCycle;
+}
+
+std::string
+RawMachine::describe() const
+{
+    std::ostringstream os;
+    os << "Raw (tiled processor, MIT)\n"
+       << "  " << cfg.meshWidth << "x" << cfg.meshHeight
+       << " tiles, each a single-issue MIPS-like core with FPU and "
+       << cfg.sramBytes / 1024 << " KB SRAM\n"
+       << "  static mesh network: "
+       << (cfg.netBaseLatency + 1)
+       << "-cycle nearest-neighbour latency, 1 word/cycle/link, "
+       << "+1 cycle per hop\n"
+       << "  $csti/$csto network registers usable as instruction "
+       << "operands\n"
+       << "  " << cfg.tiles()
+       << " peripheral DRAM ports, 1 word/cycle each\n"
+       << "  clock " << cfg.clockMhz << " MHz, peak "
+       << (cfg.clockMhz / 1000.0 * cfg.tiles()) << " GOPS\n";
+    return os.str();
+}
+
+} // namespace triarch::raw

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The Raw machine model: a cycle-stepped interpreter over 16 tile
+ * cores, the static mesh network, peripheral DRAM ports with DMA
+ * stream sessions, and per-tile data caches for the MIMD mode.
+ *
+ * Execution model per cycle: every tile retires at most one
+ * instruction; a tile stalls when a source register is not ready
+ * (scoreboarded latencies), when it reads $csti and the input FIFO
+ * is empty, or while a cache miss is serviced. DMA-in ports stream
+ * global memory into tile FIFOs at one word per cycle (plus row-miss
+ * penalties); DMA-out ports drain words the tiles route to them and
+ * write global memory sequentially.
+ */
+
+#ifndef TRIARCH_RAW_MACHINE_HH
+#define TRIARCH_RAW_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "raw/config.hh"
+#include "raw/isa.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace triarch::raw
+{
+
+/** Route endpoint: tiles are 0..15, port p is portEndpoint(p). */
+constexpr unsigned
+portEndpoint(unsigned port)
+{
+    return 1000 + port;
+}
+
+/** The 16-tile Raw chip plus its memory ports. */
+class RawMachine
+{
+  public:
+    explicit RawMachine(const RawConfig &machine_config = {});
+
+    const RawConfig &config() const { return cfg; }
+
+    // ------------------------------------------------------------
+    // Host-side setup (not timed).
+    // ------------------------------------------------------------
+
+    /** Bump-allocate global DRAM; returns a globalBase-relative
+     *  absolute address usable in tile programs. */
+    Addr allocGlobal(std::uint64_t bytes, const std::string &what);
+
+    void pokeGlobal(Addr addr, std::span<const Word> words);
+    std::vector<Word> peekGlobal(Addr addr, std::size_t count) const;
+
+    /** Load a program into a tile (pc resets to 0). */
+    void setProgram(unsigned tile, std::vector<Instr> program);
+
+    /** Host write into a tile's local SRAM. */
+    void pokeLocal(unsigned tile, Addr byte_offset,
+                   std::span<const Word> words);
+    std::vector<Word> peekLocal(unsigned tile, Addr byte_offset,
+                                std::size_t count) const;
+
+    /** Configure a tile's static route for $csto writes. */
+    void setRoute(unsigned tile, unsigned endpoint);
+
+    /**
+     * Queue a DMA-in segment: port @p port streams @p words global
+     * words from @p base into tile @p dstTile's input FIFO.
+     */
+    void dmaIn(unsigned port, unsigned dstTile, Addr base,
+               unsigned words);
+
+    /**
+     * Queue a DMA-out segment: the next @p words words arriving at
+     * port @p port are written sequentially to global @p base.
+     */
+    void dmaOut(unsigned port, Addr base, unsigned words);
+
+    // ------------------------------------------------------------
+    // Execution.
+    // ------------------------------------------------------------
+
+    /**
+     * Run until every tile halts and all DMA queues drain; returns
+     * the cycle count. Fatal if cfg.maxCycles is exceeded (deadlock
+     * or runaway program).
+     */
+    Cycles run();
+
+    // ------------------------------------------------------------
+    // Statistics.
+    // ------------------------------------------------------------
+
+    stats::StatGroup &statGroup() { return group; }
+
+    std::uint64_t instructions() const { return _instrs.value(); }
+    std::uint64_t netStalls() const { return _netStalls.value(); }
+    std::uint64_t depStalls() const { return _depStalls.value(); }
+    std::uint64_t cacheStallCycles() const
+    {
+        return _cacheStalls.value();
+    }
+    std::uint64_t loadStores() const { return _ldst.value(); }
+    std::uint64_t fpOps() const { return _fpops.value(); }
+
+    /** Instructions retired by one tile (load-balance studies). */
+    std::uint64_t tileInstructions(unsigned tile) const;
+
+    /** Cycles tile spent fully idle after halting. */
+    std::uint64_t tileIdleAfterHalt(unsigned tile) const;
+
+    /** One-paragraph block-diagram description (Figure 3). */
+    std::string describe() const;
+
+  private:
+    struct DmaSegment
+    {
+        Addr base;
+        unsigned words;
+        unsigned dstTile;   //!< DMA-in only
+        unsigned done = 0;
+    };
+
+    struct Tile
+    {
+        std::array<std::uint32_t, numRegs> regs{};
+        std::array<Cycles, numRegs> ready{};
+        std::vector<Instr> program;
+        unsigned pc = 0;
+        bool halted = false;
+        Cycles haltCycle = 0;
+        Cycles stallUntil = 0;
+        std::vector<std::uint8_t> sram;
+        std::unique_ptr<mem::SetAssocCache> cache;
+        std::deque<std::pair<Cycles, Word>> inFifo; //!< arrival,value
+        std::deque<std::pair<Cycles, Word>> dynFifo; //!< dynamic net
+        unsigned route = ~0u;
+        std::uint64_t instrs = 0;
+    };
+
+    struct Port
+    {
+        std::deque<DmaSegment> inQueue;
+        std::deque<DmaSegment> outQueue;
+        std::deque<std::pair<Cycles, Word>> arrivals; //!< from tiles
+        Cycles inFree = 0;
+        Cycles outFree = 0;
+        Addr inLastRow = ~Addr{0};
+        Addr outLastRow = ~Addr{0};
+    };
+
+    /** Step one tile by one cycle. */
+    void stepTile(unsigned t, Cycles now);
+
+    /** Advance DMA engines for one cycle. */
+    void stepPorts(Cycles now);
+
+    /** Deliver a $csto write from tile @p t. */
+    void send(unsigned t, Word value, Cycles now);
+
+    /** XY-hop count between two tiles. */
+    unsigned hops(unsigned a, unsigned b) const;
+
+    bool allDone() const;
+
+    RawConfig cfg;
+    std::vector<Tile> tileState;
+    std::vector<Port> ports;
+    std::vector<std::uint8_t> global;
+    Addr allocNext = 64;
+
+    stats::StatGroup group;
+    stats::Scalar _instrs;
+    stats::Scalar _netStalls;
+    stats::Scalar _depStalls;
+    stats::Scalar _cacheStalls;
+    stats::Scalar _ldst;
+    stats::Scalar _fpops;
+    stats::Scalar _wordsDmaIn;
+    stats::Scalar _wordsDmaOut;
+    stats::Scalar _cycles;
+};
+
+} // namespace triarch::raw
+
+#endif // TRIARCH_RAW_MACHINE_HH

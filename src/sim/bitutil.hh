@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Small bit-manipulation and integer helpers used across the timing
+ * models (address mapping, lane math, and the like).
+ */
+
+#ifndef TRIARCH_SIM_BITUTIL_HH
+#define TRIARCH_SIM_BITUTIL_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace triarch
+{
+
+/** True iff @p v is a non-zero power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned n = 0;
+    while (v >>= 1)
+        ++n;
+    return n;
+}
+
+/** ceil(log2(v)); v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return v <= 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** ceil(a / b) for positive integers. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p align. */
+constexpr std::uint64_t
+roundUp(std::uint64_t a, std::uint64_t align)
+{
+    return ceilDiv(a, align) * align;
+}
+
+/** Extract bits [lo, lo+len) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned len)
+{
+    return (v >> lo) & ((len >= 64) ? ~0ULL : ((1ULL << len) - 1));
+}
+
+/** Reverse the low @p nbits bits of @p v (used by FFT reordering). */
+constexpr std::uint32_t
+reverseBits(std::uint32_t v, unsigned nbits)
+{
+    std::uint32_t r = 0;
+    for (unsigned i = 0; i < nbits; ++i) {
+        r = (r << 1) | (v & 1);
+        v >>= 1;
+    }
+    return r;
+}
+
+/** Bit-cast a float to the 32-bit word that carries it in memory. */
+inline std::uint32_t
+floatToWord(float f)
+{
+    return std::bit_cast<std::uint32_t>(f);
+}
+
+/** Bit-cast a 32-bit memory word back to the float it carries. */
+inline float
+wordToFloat(std::uint32_t w)
+{
+    return std::bit_cast<float>(w);
+}
+
+} // namespace triarch
+
+#endif // TRIARCH_SIM_BITUTIL_HH

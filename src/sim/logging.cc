@@ -1,0 +1,67 @@
+#include "logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace triarch
+{
+
+namespace
+{
+LogLevel globalLevel = LogLevel::Inform;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::Warn)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::Inform)
+        std::cout << "info: " << msg << std::endl;
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    std::cerr << "debug: " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace triarch

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 spirit: panic() for simulator
+ * bugs, fatal() for user errors, warn()/inform() for status messages.
+ */
+
+#ifndef TRIARCH_SIM_LOGGING_HH
+#define TRIARCH_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace triarch
+{
+
+/** Verbosity levels accepted by setLogLevel(). */
+enum class LogLevel { Quiet, Warn, Inform, Debug };
+
+/** Set the global verbosity; messages below the level are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+/** Fold a parameter pack into one string via ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Abort on a condition that indicates a bug in the simulator itself
+ * (never the user's fault). Mirrors gem5's panic().
+ */
+#define triarch_panic(...) \
+    ::triarch::detail::panicImpl(__FILE__, __LINE__, \
+                                 ::triarch::detail::concat(__VA_ARGS__))
+
+/**
+ * Exit on a condition caused by user input (bad configuration,
+ * impossible parameters). Mirrors gem5's fatal().
+ */
+#define triarch_fatal(...) \
+    ::triarch::detail::fatalImpl(__FILE__, __LINE__, \
+                                 ::triarch::detail::concat(__VA_ARGS__))
+
+/** Panic unless @p cond holds; use for internal invariants. */
+#define triarch_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::triarch::detail::panicImpl(__FILE__, __LINE__, \
+                ::triarch::detail::concat("assertion '" #cond "' failed: ", \
+                                          ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Non-fatal warning about approximated or suspicious behaviour. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Plain status message for the user. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Developer-level trace message, off by default. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::debugImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace triarch
+
+#endif // TRIARCH_SIM_LOGGING_HH

@@ -1,0 +1,91 @@
+#include "stats.hh"
+
+#include "logging.hh"
+
+namespace triarch::stats
+{
+
+void
+StatGroup::addScalar(const std::string &stat_name, Scalar *s,
+                     const std::string &desc)
+{
+    triarch_assert(s != nullptr, "null scalar for ", stat_name);
+    scalars.push_back({stat_name, s, desc});
+}
+
+void
+StatGroup::addAverage(const std::string &stat_name, Average *a,
+                      const std::string &desc)
+{
+    triarch_assert(a != nullptr, "null average for ", stat_name);
+    averages.push_back({stat_name, a, desc});
+}
+
+std::uint64_t
+StatGroup::scalar(const std::string &stat_name) const
+{
+    for (const auto &e : scalars) {
+        if (e.name == stat_name)
+            return e.stat->value();
+    }
+    triarch_panic("unknown scalar stat '", stat_name, "' in group ", _name);
+}
+
+double
+StatGroup::average(const std::string &stat_name) const
+{
+    for (const auto &e : averages) {
+        if (e.name == stat_name)
+            return e.stat->mean();
+    }
+    triarch_panic("unknown average stat '", stat_name, "' in group ",
+                  _name);
+}
+
+bool
+StatGroup::hasScalar(const std::string &stat_name) const
+{
+    for (const auto &e : scalars) {
+        if (e.name == stat_name)
+            return true;
+    }
+    return false;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &e : scalars)
+        e.stat->reset();
+    for (auto &e : averages)
+        e.stat->reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &e : scalars) {
+        os << _name << "." << e.name << " " << e.stat->value();
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << "\n";
+    }
+    for (const auto &e : averages) {
+        os << _name << "." << e.name << " " << e.stat->mean();
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << "\n";
+    }
+}
+
+std::vector<std::string>
+StatGroup::scalarNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(scalars.size());
+    for (const auto &e : scalars)
+        names.push_back(e.name);
+    return names;
+}
+
+} // namespace triarch::stats

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's: named scalar
+ * counters, averages, and distributions owned by a StatGroup that can
+ * render itself to a stream and answer queries by name.
+ *
+ * Every simulator component (DRAM model, cache, vector unit, ...)
+ * owns a StatGroup; the study framework reads the groups to explain
+ * where cycles went (e.g. VIRAM precharge overhead, Imagine memory
+ * stall fraction).
+ */
+
+#ifndef TRIARCH_SIM_STATS_HH
+#define TRIARCH_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace triarch::stats
+{
+
+/** A named 64-bit counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator+=(std::uint64_t v) { count += v; return *this; }
+    Scalar &operator++() { ++count; return *this; }
+    void set(std::uint64_t v) { count = v; }
+    void reset() { count = 0; }
+    std::uint64_t value() const { return count; }
+
+  private:
+    std::uint64_t count = 0;
+};
+
+/** Running mean of sampled values. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++n;
+    }
+
+    void reset() { sum = 0; n = 0; }
+    double mean() const { return n ? sum / n : 0.0; }
+    std::uint64_t samples() const { return n; }
+
+  private:
+    double sum = 0.0;
+    std::uint64_t n = 0;
+};
+
+/** Fixed-bucket histogram over [lo, hi). */
+class Distribution
+{
+  public:
+    Distribution() : Distribution(0.0, 1.0, 1) {}
+
+    Distribution(double lo, double hi, unsigned nbuckets)
+        : low(lo), high(hi), buckets(nbuckets, 0)
+    {
+    }
+
+    /** Record one sample; out-of-range samples land in under/over. */
+    void
+    sample(double v)
+    {
+        ++n;
+        sum += v;
+        if (v < low) {
+            ++underflow;
+        } else if (v >= high) {
+            ++overflow;
+        } else {
+            auto idx = static_cast<std::size_t>(
+                (v - low) / (high - low) * buckets.size());
+            if (idx >= buckets.size())
+                idx = buckets.size() - 1;
+            ++buckets[idx];
+        }
+    }
+
+    std::uint64_t samples() const { return n; }
+    double mean() const { return n ? sum / n : 0.0; }
+    std::uint64_t bucket(std::size_t i) const { return buckets.at(i); }
+    std::uint64_t under() const { return underflow; }
+    std::uint64_t over() const { return overflow; }
+    std::size_t numBuckets() const { return buckets.size(); }
+
+  private:
+    double low;
+    double high;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+    std::uint64_t n = 0;
+    double sum = 0.0;
+};
+
+/**
+ * A named collection of statistics. Components register their stats
+ * once at construction; the group does not own the stat storage.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string group_name)
+        : _name(std::move(group_name))
+    {
+    }
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register a scalar under @p stat_name. */
+    void addScalar(const std::string &stat_name, Scalar *s,
+                   const std::string &desc = "");
+
+    /** Register an average under @p stat_name. */
+    void addAverage(const std::string &stat_name, Average *a,
+                    const std::string &desc = "");
+
+    /** Value of a registered scalar; panics on unknown names. */
+    std::uint64_t scalar(const std::string &stat_name) const;
+
+    /** Mean of a registered average; panics on unknown names. */
+    double average(const std::string &stat_name) const;
+
+    /** True if a scalar with this name was registered. */
+    bool hasScalar(const std::string &stat_name) const;
+
+    /** Reset every registered stat to zero. */
+    void resetAll();
+
+    /** Render "group.stat value  # desc" lines. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return _name; }
+
+    /** Names of all registered scalars, in registration order. */
+    std::vector<std::string> scalarNames() const;
+
+  private:
+    struct ScalarEntry
+    {
+        std::string name;
+        Scalar *stat;
+        std::string desc;
+    };
+
+    struct AverageEntry
+    {
+        std::string name;
+        Average *stat;
+        std::string desc;
+    };
+
+    std::string _name;
+    std::vector<ScalarEntry> scalars;
+    std::vector<AverageEntry> averages;
+};
+
+} // namespace triarch::stats
+
+#endif // TRIARCH_SIM_STATS_HH

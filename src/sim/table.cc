@@ -1,0 +1,194 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace triarch
+{
+
+namespace
+{
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.'
+              || c == '-' || c == '+' || c == ',' || c == 'e'
+              || c == 'x')) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    head = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+void
+Table::render(std::ostream &os) const
+{
+    std::size_t ncols = head.size();
+    for (const auto &r : rows)
+        ncols = std::max(ncols, r.size());
+    if (ncols == 0)
+        return;
+
+    std::vector<std::size_t> width(ncols, 0);
+    auto measure = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    measure(head);
+    for (const auto &r : rows)
+        measure(r);
+
+    auto rule = [&]() {
+        os << "+";
+        for (std::size_t i = 0; i < ncols; ++i)
+            os << std::string(width[i] + 2, '-') << "+";
+        os << "\n";
+    };
+
+    auto line = [&](const std::vector<std::string> &r) {
+        os << "|";
+        for (std::size_t i = 0; i < ncols; ++i) {
+            std::string cell = i < r.size() ? r[i] : "";
+            os << " ";
+            if (looksNumeric(cell)) {
+                os << std::string(width[i] - cell.size(), ' ') << cell;
+            } else {
+                os << cell << std::string(width[i] - cell.size(), ' ');
+            }
+            os << " |";
+        }
+        os << "\n";
+    };
+
+    if (!title.empty())
+        os << title << "\n";
+    rule();
+    if (!head.empty()) {
+        line(head);
+        rule();
+    }
+    for (const auto &r : rows)
+        line(r);
+    rule();
+}
+
+void
+Table::renderCsv(std::ostream &os) const
+{
+    auto line = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            if (i)
+                os << ",";
+            // Quote cells that contain separators (e.g. formatted
+            // numbers with thousands separators).
+            if (r[i].find(',') != std::string::npos)
+                os << '"' << r[i] << '"';
+            else
+                os << r[i];
+        }
+        os << "\n";
+    };
+    if (!head.empty())
+        line(head);
+    for (const auto &r : rows)
+        line(r);
+}
+
+std::string
+Table::num(double v, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << v;
+    return os.str();
+}
+
+std::string
+Table::num(std::uint64_t v)
+{
+    std::string raw = std::to_string(v);
+    std::string out;
+    int seen = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (seen && seen % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++seen;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+void
+BarChart::bar(const std::string &label, double value)
+{
+    if (logScale)
+        triarch_assert(value > 0.0, "log-scale bar needs positive value");
+    entries.push_back({label, value});
+}
+
+void
+BarChart::group(const std::string &label)
+{
+    entries.push_back({label, std::numeric_limits<double>::quiet_NaN()});
+}
+
+void
+BarChart::render(std::ostream &os) const
+{
+    constexpr int chartWidth = 50;
+
+    double maxVal = 0.0;
+    std::size_t labelWidth = 0;
+    for (const auto &e : entries) {
+        if (std::isnan(e.value))
+            continue;
+        maxVal = std::max(maxVal, e.value);
+        labelWidth = std::max(labelWidth, e.label.size());
+    }
+    if (maxVal <= 0.0)
+        return;
+
+    const double maxScaled = logScale ? std::log10(1.0 + maxVal) : maxVal;
+
+    if (!title.empty())
+        os << title << (logScale ? "  [log scale]" : "") << "\n";
+    for (const auto &e : entries) {
+        if (std::isnan(e.value)) {
+            os << "-- " << e.label << " --\n";
+            continue;
+        }
+        const double scaled =
+            logScale ? std::log10(1.0 + e.value) : e.value;
+        int len = static_cast<int>(scaled / maxScaled * chartWidth + 0.5);
+        len = std::clamp(len, e.value > 0 ? 1 : 0, chartWidth);
+        os << "  " << e.label
+           << std::string(labelWidth - e.label.size(), ' ') << " |"
+           << std::string(len, '#') << " " << Table::num(e.value, 2)
+           << "\n";
+    }
+}
+
+} // namespace triarch

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Plain-text table and bar-chart rendering used by the benchmark
+ * harness to print the paper's tables and figures.
+ */
+
+#ifndef TRIARCH_SIM_TABLE_HH
+#define TRIARCH_SIM_TABLE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace triarch
+{
+
+/**
+ * A simple column-aligned text table. Rows are added as vectors of
+ * pre-formatted cells; the renderer right-aligns numeric-looking cells
+ * and left-aligns everything else.
+ */
+class Table
+{
+  public:
+    explicit Table(std::string table_title = "")
+        : title(std::move(table_title))
+    {
+    }
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one body row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with box-drawing rules. */
+    void render(std::ostream &os) const;
+
+    /** Render as comma-separated values (for plotting scripts). */
+    void renderCsv(std::ostream &os) const;
+
+    /** Format helper: fixed-point with @p digits decimals. */
+    static std::string num(double v, int digits = 2);
+
+    /** Format helper: integer with thousands separators. */
+    static std::string num(std::uint64_t v);
+
+  private:
+    std::string title;
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/**
+ * Horizontal ASCII bar chart with optional log10 scale; stands in for
+ * the paper's speedup figures (Figures 8 and 9 use log axes).
+ */
+class BarChart
+{
+  public:
+    BarChart(std::string chart_title, bool log_scale)
+        : title(std::move(chart_title)), logScale(log_scale)
+    {
+    }
+
+    /** Add one bar. @p value must be positive when log scale is on. */
+    void bar(const std::string &label, double value);
+
+    /** Start a labeled group of bars (e.g. one per kernel). */
+    void group(const std::string &label);
+
+    void render(std::ostream &os) const;
+
+  private:
+    struct Entry
+    {
+        std::string label;
+        double value;   //!< NaN marks a group separator.
+    };
+
+    std::string title;
+    bool logScale;
+    std::vector<Entry> entries;
+};
+
+} // namespace triarch
+
+#endif // TRIARCH_SIM_TABLE_HH

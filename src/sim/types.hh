@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Fundamental types shared by every simulator in triarch.
+ */
+
+#ifndef TRIARCH_SIM_TYPES_HH
+#define TRIARCH_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace triarch
+{
+
+/** Simulated cycle count. All timing models count in machine cycles. */
+using Cycles = std::uint64_t;
+
+/** Byte address into a simulated memory. */
+using Addr = std::uint64_t;
+
+/** 32-bit machine word; floats travel through memory bit-cast to this. */
+using Word = std::uint32_t;
+
+} // namespace triarch
+
+#endif // TRIARCH_SIM_TYPES_HH

@@ -1,0 +1,282 @@
+#include "experiment.hh"
+
+#include <cmath>
+
+#include "imagine/kernels_imagine.hh"
+#include "ppc/kernels_ppc.hh"
+#include "raw/kernels_raw.hh"
+#include "sim/logging.hh"
+#include "viram/kernels_viram.hh"
+
+namespace triarch::study
+{
+
+const std::vector<KernelId> &
+allKernels()
+{
+    static const std::vector<KernelId> ids = {
+        KernelId::CornerTurn, KernelId::Cslc, KernelId::BeamSteering};
+    return ids;
+}
+
+const std::string &
+kernelName(KernelId id)
+{
+    static const std::string names[] = {"Corner Turn", "CSLC",
+                                        "Beam Steering"};
+    return names[static_cast<unsigned>(id)];
+}
+
+double
+RunResult::milliseconds() const
+{
+    const double mhz = machineInfo(machine).clockMhz;
+    return static_cast<double>(cycles) / (mhz * 1000.0);
+}
+
+/** Lazily built shared workloads and golden outputs. */
+struct Runner::Workloads
+{
+    // Corner turn.
+    kernels::WordMatrix matrix;
+
+    // CSLC.
+    kernels::CslcInput cslcIn;
+    kernels::CslcWeights weights;
+    kernels::CslcOutput refMixed;
+    kernels::CslcOutput refRadix2;
+
+    // Beam steering.
+    kernels::BeamTables tables;
+    std::vector<std::int32_t> beamRef;
+};
+
+Runner::Runner(StudyConfig run_config)
+    : cfg(std::move(run_config)), work(std::make_unique<Workloads>())
+{
+    triarch_assert(cfg.matrixSize >= 64 && cfg.matrixSize % 64 == 0,
+                   "matrix size must be a positive multiple of 64");
+
+    work->matrix = kernels::WordMatrix(cfg.matrixSize, cfg.matrixSize);
+    kernels::fillMatrix(work->matrix, cfg.seed);
+
+    work->cslcIn =
+        kernels::makeJammedInput(cfg.cslc, cfg.jammerBins, cfg.seed);
+    work->weights = kernels::estimateWeights(cfg.cslc, work->cslcIn);
+    work->refMixed =
+        kernels::cslcReference(cfg.cslc, work->cslcIn, work->weights,
+                               kernels::FftAlgo::Mixed128);
+    work->refRadix2 =
+        kernels::cslcReference(cfg.cslc, work->cslcIn, work->weights,
+                               kernels::FftAlgo::Radix2);
+
+    work->tables = kernels::makeBeamTables(cfg.beam, cfg.seed + 1);
+    work->beamRef = kernels::beamSteerReference(cfg.beam, work->tables);
+}
+
+Runner::~Runner() = default;
+
+bool
+Runner::cslcValid(const kernels::CslcOutput &out,
+                  kernels::FftAlgo algo) const
+{
+    const kernels::CslcOutput &ref = algo == kernels::FftAlgo::Mixed128
+                                         ? work->refMixed
+                                         : work->refRadix2;
+    double err = 0.0, power = 0.0;
+    for (unsigned m = 0; m < cfg.cslc.mainChannels; ++m) {
+        for (std::size_t i = 0; i < ref.main[m].size(); ++i) {
+            err += std::norm(ref.main[m][i] - out.main[m][i]);
+            power += std::norm(ref.main[m][i]);
+        }
+    }
+    return err <= 1e-4 * power;
+}
+
+RunResult
+Runner::runCornerTurn(MachineId machine)
+{
+    RunResult result;
+    result.machine = machine;
+    result.kernel = KernelId::CornerTurn;
+
+    kernels::WordMatrix dst;
+    switch (machine) {
+      case MachineId::PpcScalar:
+      case MachineId::PpcAltivec: {
+        ppc::PpcMachine m;
+        result.cycles = ppc::cornerTurnPpc(
+            m, work->matrix, dst, machine == MachineId::PpcAltivec);
+        result.notes.emplace_back(
+            "mem_stall_fraction",
+            static_cast<double>(m.memStallCycles()) / result.cycles);
+        break;
+      }
+      case MachineId::Viram: {
+        viram::ViramMachine m;
+        result.cycles = viram::cornerTurnViram(m, work->matrix, dst);
+        result.notes.emplace_back(
+            "row_overhead_fraction",
+            static_cast<double>(m.rowOverheadCycles()) / result.cycles);
+        result.notes.emplace_back(
+            "tlb_overhead_fraction",
+            static_cast<double>(m.tlbOverheadCycles()) / result.cycles);
+        break;
+      }
+      case MachineId::Imagine: {
+        imagine::ImagineMachine m;
+        result.cycles =
+            imagine::cornerTurnImagine(m, work->matrix, dst);
+        result.notes.emplace_back("memory_fraction",
+                                  m.memoryFraction());
+        break;
+      }
+      case MachineId::Raw: {
+        raw::RawMachine m;
+        result.cycles = raw::cornerTurnRaw(m, work->matrix, dst);
+        result.notes.emplace_back(
+            "instr_per_cycle_per_tile",
+            static_cast<double>(m.instructions())
+                / result.cycles / m.config().tiles());
+        break;
+      }
+    }
+    result.validated = kernels::isTransposeOf(work->matrix, dst);
+    return result;
+}
+
+RunResult
+Runner::runCslc(MachineId machine)
+{
+    RunResult result;
+    result.machine = machine;
+    result.kernel = KernelId::Cslc;
+
+    kernels::CslcOutput out;
+    switch (machine) {
+      case MachineId::PpcScalar:
+      case MachineId::PpcAltivec: {
+        ppc::PpcMachine m;
+        result.cycles = ppc::cslcPpc(
+            m, cfg.cslc, work->cslcIn, work->weights, out,
+            machine == MachineId::PpcAltivec);
+        result.validated = cslcValid(out, kernels::FftAlgo::Radix2);
+        break;
+      }
+      case MachineId::Viram: {
+        viram::ViramMachine m;
+        result.cycles = viram::cslcViram(m, cfg.cslc, work->cslcIn,
+                                         work->weights, out);
+        result.validated = cslcValid(out, kernels::FftAlgo::Radix2);
+        result.notes.emplace_back(
+            "shuffle_fraction",
+            static_cast<double>(m.permInstructions())
+                / m.vectorInstructions());
+        break;
+      }
+      case MachineId::Imagine: {
+        imagine::ImagineMachine m;
+        result.cycles = imagine::cslcImagine(m, cfg.cslc, work->cslcIn,
+                                             work->weights, out);
+        result.validated = cslcValid(out, kernels::FftAlgo::Mixed128);
+        result.notes.emplace_back("alu_utilization",
+                                  m.aluUtilization());
+        break;
+      }
+      case MachineId::Raw: {
+        raw::RawMachine m;
+        auto r = raw::cslcRaw(m, cfg.cslc, work->cslcIn, work->weights,
+                              out);
+        result.cycles = r.balancedCycles;
+        result.measuredUnbalanced = r.cycles;
+        result.validated = cslcValid(out, kernels::FftAlgo::Radix2);
+        result.notes.emplace_back("idle_fraction", r.idleFraction);
+        result.notes.emplace_back(
+            "cache_stall_fraction",
+            static_cast<double>(m.cacheStallCycles())
+                / (static_cast<double>(m.config().tiles()) * r.cycles));
+        result.notes.emplace_back(
+            "ldst_fraction",
+            static_cast<double>(m.loadStores())
+                / (static_cast<double>(m.config().tiles()) * r.cycles));
+        break;
+      }
+    }
+    return result;
+}
+
+RunResult
+Runner::runBeamSteering(MachineId machine)
+{
+    RunResult result;
+    result.machine = machine;
+    result.kernel = KernelId::BeamSteering;
+
+    std::vector<std::int32_t> out;
+    switch (machine) {
+      case MachineId::PpcScalar:
+      case MachineId::PpcAltivec: {
+        ppc::PpcMachine m;
+        result.cycles = ppc::beamSteeringPpc(
+            m, cfg.beam, work->tables, out,
+            machine == MachineId::PpcAltivec);
+        break;
+      }
+      case MachineId::Viram: {
+        viram::ViramMachine m;
+        result.cycles =
+            viram::beamSteeringViram(m, cfg.beam, work->tables, out);
+        const double compute =
+            static_cast<double>(m.vau0Busy() + m.vau1Busy()) / 2.0;
+        result.notes.emplace_back("compute_bound_fraction",
+                                  compute / result.cycles);
+        break;
+      }
+      case MachineId::Imagine: {
+        imagine::ImagineMachine m;
+        result.cycles = imagine::beamSteeringImagine(
+            m, cfg.beam, work->tables, out);
+        result.notes.emplace_back("memory_fraction",
+                                  m.memoryFraction());
+        break;
+      }
+      case MachineId::Raw: {
+        raw::RawMachine m;
+        result.cycles =
+            raw::beamSteeringRaw(m, cfg.beam, work->tables, out);
+        result.notes.emplace_back(
+            "loads_stores",
+            static_cast<double>(m.loadStores()));
+        break;
+      }
+    }
+    result.validated = out == work->beamRef;
+    return result;
+}
+
+RunResult
+Runner::run(MachineId machine, KernelId kernel)
+{
+    switch (kernel) {
+      case KernelId::CornerTurn:
+        return runCornerTurn(machine);
+      case KernelId::Cslc:
+        return runCslc(machine);
+      case KernelId::BeamSteering:
+        return runBeamSteering(machine);
+    }
+    triarch_panic("unknown kernel");
+}
+
+std::vector<RunResult>
+Runner::runAll()
+{
+    std::vector<RunResult> results;
+    for (MachineId machine : allMachines()) {
+        for (KernelId kernel : allKernels())
+            results.push_back(run(machine, kernel));
+    }
+    return results;
+}
+
+} // namespace triarch::study

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The experiment runner: builds the paper's workloads, dispatches a
+ * (machine, kernel) pair to the right simulator mapping, validates
+ * the output against the reference kernels, and returns the cycle
+ * count plus explanatory statistics. This is the measurement loop
+ * behind Table 3 and Figures 8-9.
+ */
+
+#ifndef TRIARCH_STUDY_EXPERIMENT_HH
+#define TRIARCH_STUDY_EXPERIMENT_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernels/beam_steering.hh"
+#include "kernels/corner_turn.hh"
+#include "kernels/cslc.hh"
+#include "sim/types.hh"
+#include "study/machine_info.hh"
+
+namespace triarch::study
+{
+
+/** The three kernels of the study. */
+enum class KernelId { CornerTurn, Cslc, BeamSteering };
+
+const std::vector<KernelId> &allKernels();
+const std::string &kernelName(KernelId id);
+
+/** Workload parameters; defaults are the paper's (Section 3). */
+struct StudyConfig
+{
+    unsigned matrixSize = 1024;             //!< corner turn n x n
+    kernels::CslcConfig cslc{};
+    kernels::BeamConfig beam{};
+    std::vector<unsigned> jammerBins = {300, 1700, 4090};
+    std::uint64_t seed = 11;
+};
+
+/** Outcome of one (machine, kernel) measurement. */
+struct RunResult
+{
+    MachineId machine{};
+    KernelId kernel{};
+    /** Reported cycles (Raw CSLC: the paper's load-balance
+     *  extrapolation, Section 4.3). */
+    Cycles cycles = 0;
+    /** Raw CSLC only: the measured (imbalanced) wall clock. */
+    std::optional<Cycles> measuredUnbalanced;
+    /** Output checked against the reference implementation. */
+    bool validated = false;
+    /** Named explanatory figures (utilization, stall fractions...). */
+    std::vector<std::pair<std::string, double>> notes;
+
+    /** Wall-clock milliseconds at the machine's clock rate. */
+    double milliseconds() const;
+};
+
+/**
+ * Builds workloads once and runs any (machine, kernel) pair on
+ * freshly constructed machine models.
+ */
+class Runner
+{
+  public:
+    explicit Runner(StudyConfig run_config = {});
+    ~Runner();
+
+    const StudyConfig &config() const { return cfg; }
+
+    /** Run one cell of Table 3. */
+    RunResult run(MachineId machine, KernelId kernel);
+
+    /** Run all 15 cells (5 platforms x 3 kernels). */
+    std::vector<RunResult> runAll();
+
+  private:
+    struct Workloads;
+
+    RunResult runCornerTurn(MachineId machine);
+    RunResult runCslc(MachineId machine);
+    RunResult runBeamSteering(MachineId machine);
+
+    /** Validate a CSLC output against the matching-radix reference. */
+    bool cslcValid(const kernels::CslcOutput &out,
+                   kernels::FftAlgo algo) const;
+
+    StudyConfig cfg;
+    std::unique_ptr<Workloads> work;
+};
+
+} // namespace triarch::study
+
+#endif // TRIARCH_STUDY_EXPERIMENT_HH

@@ -1,0 +1,64 @@
+#include "machine_info.hh"
+
+#include "sim/logging.hh"
+
+namespace triarch::study
+{
+
+namespace
+{
+
+const std::vector<MachineInfo> registry = {
+    {MachineId::PpcScalar, "PPC",
+     1000, 4, 5.0,
+     0.0, "", 0.0, "", 0.0, 30.0},
+    {MachineId::PpcAltivec, "Altivec",
+     1000, 4, 5.0,
+     0.0, "", 0.0, "", 0.0, 30.0},
+    {MachineId::Viram, "VIRAM",
+     200, 16, 3.2,
+     8.0, "on-chip DRAM", 2.0, "using DMA", 8.0, 2.0},
+    {MachineId::Imagine, "Imagine",
+     300, 48, 14.4,
+     16.0, "SRF", 2.0, "", 48.0, 4.0},
+    {MachineId::Raw, "Raw",
+     300, 16, 4.64,
+     16.0, "cache", 28.0, "", 16.0, 18.0},
+};
+
+} // namespace
+
+const MachineInfo &
+machineInfo(MachineId id)
+{
+    for (const auto &info : registry) {
+        if (info.id == id)
+            return info;
+    }
+    triarch_panic("unknown machine id");
+}
+
+const std::vector<MachineId> &
+allMachines()
+{
+    static const std::vector<MachineId> ids = {
+        MachineId::PpcScalar, MachineId::PpcAltivec, MachineId::Viram,
+        MachineId::Imagine, MachineId::Raw};
+    return ids;
+}
+
+const std::vector<MachineId> &
+researchMachines()
+{
+    static const std::vector<MachineId> ids = {
+        MachineId::Viram, MachineId::Imagine, MachineId::Raw};
+    return ids;
+}
+
+const std::string &
+machineName(MachineId id)
+{
+    return machineInfo(id).name;
+}
+
+} // namespace triarch::study

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Static machine parameters for the comparative study: the contents
+ * of the paper's Table 1 (peak words/cycle) and Table 2 (processor
+ * parameters), kept in one registry so the performance model, the
+ * simulators' configurations, and the report all agree.
+ */
+
+#ifndef TRIARCH_STUDY_MACHINE_INFO_HH
+#define TRIARCH_STUDY_MACHINE_INFO_HH
+
+#include <string>
+#include <vector>
+
+namespace triarch::study
+{
+
+/** The five evaluated platforms. */
+enum class MachineId
+{
+    PpcScalar,      //!< PowerPC G4, compiled scalar code
+    PpcAltivec,     //!< PowerPC G4 with hand-inserted AltiVec
+    Viram,          //!< Berkeley VIRAM (processor-in-memory)
+    Imagine,        //!< Stanford Imagine (stream processor)
+    Raw,            //!< MIT Raw (tiled processor)
+};
+
+/** Parameters mirrored from Tables 1 and 2 of the paper. */
+struct MachineInfo
+{
+    MachineId id;
+    std::string name;
+
+    // Table 2.
+    unsigned clockMhz;
+    unsigned numAlus;
+    double peakGflops;
+
+    // Table 1 (32-bit words per cycle); 0 = not reported.
+    double onchipWordsPerCycle;
+    std::string onchipNote;
+    double offchipWordsPerCycle;
+    std::string offchipNote;
+    double computeWordsPerCycle;
+
+    /**
+     * Typical chip power in watts (extension beyond the paper's
+     * tables, from the teams' publications: VIRAM ~2 W per Section
+     * 2.1 of the paper; Imagine ~4 W per Khailany et al., IEEE
+     * Micro 2001; Raw ~18 W per the ISSCC 2003 paper; PowerPC G4
+     * ~30 W at 1 GHz). Used by the energy-efficiency ablation.
+     */
+    double typicalWatts;
+};
+
+/** Lookup (panics on bad id). */
+const MachineInfo &machineInfo(MachineId id);
+
+/** All five platforms, PPC first (the comparison baselines). */
+const std::vector<MachineId> &allMachines();
+
+/** The three research architectures (Table 1 columns). */
+const std::vector<MachineId> &researchMachines();
+
+/** Short display name ("VIRAM", "Altivec", ...). */
+const std::string &machineName(MachineId id);
+
+} // namespace triarch::study
+
+#endif // TRIARCH_STUDY_MACHINE_INFO_HH

@@ -1,0 +1,123 @@
+#include "perf_model.hh"
+
+#include <algorithm>
+
+#include "kernels/fft.hh"
+#include "sim/logging.hh"
+
+namespace triarch::study
+{
+
+Bound
+cornerTurnBound(MachineId id, unsigned n)
+{
+    const std::uint64_t words = static_cast<std::uint64_t>(n) * n;
+
+    switch (id) {
+      case MachineId::Viram: {
+        // Strided column loads run at the 4 address generators;
+        // unit-stride stores at the full 8 words/cycle (on-chip).
+        const Cycles loads = words / 4;
+        const Cycles stores = words / 8;
+        return {loads + stores, "on-chip DRAM (4 strided + 8 unit w/c)"};
+      }
+      case MachineId::Imagine: {
+        // Every word crosses the 2 words/cycle off-chip interface
+        // twice (read + write).
+        return {2 * words / 2, "off-chip bandwidth (2 w/c)"};
+      }
+      case MachineId::Raw: {
+        // One load + one store instruction per word across 16
+        // single-issue tiles; the 28 w/c of port bandwidth does not
+        // bind.
+        const Cycles issue = 2 * words / 16;
+        const Cycles memory = 2 * words / 28;
+        return issue >= memory
+                   ? Bound{issue, "tile load/store issue (16/cycle)"}
+                   : Bound{memory, "DRAM ports"};
+      }
+      case MachineId::PpcScalar:
+      case MachineId::PpcAltivec: {
+        // Front-side bus: read + write + write-allocate fill, at
+        // ~0.8 words/cycle.
+        const auto traffic = static_cast<double>(3 * words);
+        return {static_cast<Cycles>(traffic / 0.8),
+                "front-side bus (~0.8 w/c)"};
+      }
+    }
+    triarch_panic("unknown machine");
+}
+
+Bound
+cslcBound(MachineId id, const kernels::CslcConfig &cfg)
+{
+    // Transform flops: mixed radix-4/2 on VIRAM and Imagine; radix-2
+    // (about 1.5x the operations) on Raw. Weight application adds
+    // 16 flops per main-channel bin.
+    const std::uint64_t weightFlops =
+        static_cast<std::uint64_t>(cfg.subBands) * cfg.mainChannels
+        * cfg.subBandLen * 16;
+    const std::uint64_t mixedFlops =
+        cfg.transforms() * kernels::mixed128Ops().flops()
+        + weightFlops;
+    const std::uint64_t radix2Flops =
+        cfg.transforms() * kernels::radix2Ops(cfg.subBandLen).flops()
+        + weightFlops;
+
+    switch (id) {
+      case MachineId::Viram:
+        // Vector FP issues on VAU0 only: 8 flops/cycle.
+        return {mixedFlops / 8, "vector FP on VAU0 (8 flops/cycle)"};
+      case MachineId::Imagine:
+        // 8 clusters x (3 adders + 2 multipliers); the divider is
+        // useless for the FFT.
+        return {mixedFlops / 40, "cluster ALUs (40 flops/cycle)"};
+      case MachineId::Raw:
+        // 16 single-issue tiles, one flop per tile per cycle.
+        return {radix2Flops / 16, "tile issue (16 flops/cycle)"};
+      case MachineId::PpcScalar:
+        return {mixedFlops / 1, "single FPU (1 flop/cycle)"};
+      case MachineId::PpcAltivec:
+        return {mixedFlops / 4, "AltiVec (4 flops/cycle)"};
+    }
+    triarch_panic("unknown machine");
+}
+
+Bound
+beamSteeringBound(MachineId id, const kernels::BeamConfig &cfg)
+{
+    const std::uint64_t outputs = cfg.outputs();
+    const std::uint64_t ops = outputs * 6;      // 5 adds + 1 shift
+    const std::uint64_t words = outputs * 3;    // 2 reads + 1 write
+
+    switch (id) {
+      case MachineId::Viram: {
+        const Cycles compute = ops / 16;    // 2 VAUs x 8 lanes
+        const Cycles memory = words / 8;    // unit-stride
+        return compute >= memory
+                   ? Bound{compute, "integer VAUs (16 ops/cycle)"}
+                   : Bound{memory, "on-chip DRAM"};
+      }
+      case MachineId::Imagine: {
+        const Cycles compute = ops / 24;    // 8 clusters x 3 adders
+        const Cycles memory = words / 2;    // off-chip streams
+        return memory >= compute
+                   ? Bound{memory, "off-chip bandwidth (2 w/c)"}
+                   : Bound{compute, "cluster adders"};
+      }
+      case MachineId::Raw: {
+        const Cycles compute = ops / 16;    // 1 op/tile/cycle
+        const Cycles memory = words / 28;
+        return compute >= memory
+                   ? Bound{compute, "tile issue (16 ops/cycle)"}
+                   : Bound{memory, "DRAM ports"};
+      }
+      case MachineId::PpcScalar:
+        return {ops / 2, "integer issue (2 ops/cycle)"};
+      case MachineId::PpcAltivec:
+        return {ops / 8, "AltiVec integer (2 x 4 ops/cycle)"};
+    }
+    triarch_panic("unknown machine");
+}
+
+} // namespace triarch::study

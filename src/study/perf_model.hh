@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The Section 2.5 performance model: simple compute- and
+ * bandwidth-bound estimates of each kernel's best-case cycle count
+ * on each research architecture, built only from the Table 1/2
+ * numbers and kernel operation counts. The paper uses this model to
+ * explain where the measured results fall short (Table 4 and the
+ * per-kernel analysis of Section 4); the bench reproduces that
+ * comparison.
+ */
+
+#ifndef TRIARCH_STUDY_PERF_MODEL_HH
+#define TRIARCH_STUDY_PERF_MODEL_HH
+
+#include <string>
+
+#include "kernels/beam_steering.hh"
+#include "kernels/corner_turn.hh"
+#include "kernels/cslc.hh"
+#include "sim/types.hh"
+#include "study/machine_info.hh"
+
+namespace triarch::study
+{
+
+/** A lower-bound estimate plus the resource that sets it. */
+struct Bound
+{
+    Cycles cycles = 0;
+    std::string resource;   //!< e.g. "off-chip bandwidth"
+};
+
+/**
+ * Corner-turn bound for an n x n word matrix: each word is read
+ * once and written once; the binding resource is strided/sequential
+ * memory bandwidth (VIRAM address generators, Imagine's two memory
+ * streams) or, on Raw, the tiles' load/store issue rate.
+ */
+Bound cornerTurnBound(MachineId id, unsigned n);
+
+/**
+ * CSLC bound: transform flops (mixed-radix on VIRAM and Imagine,
+ * radix-2 on Raw per Section 3.2) plus weight-application flops,
+ * divided by the machine's peak useful flops per cycle (VIRAM's
+ * second VAU cannot issue FP; Imagine's dividers are useless here).
+ */
+Bound cslcBound(MachineId id, const kernels::CslcConfig &cfg);
+
+/**
+ * Beam-steering bound: 5 adds + 1 shift per output against integer
+ * throughput, or 3 words per output against memory bandwidth,
+ * whichever binds (Section 4.4: memory for Imagine, compute for
+ * VIRAM and Raw).
+ */
+Bound beamSteeringBound(MachineId id, const kernels::BeamConfig &cfg);
+
+} // namespace triarch::study
+
+#endif // TRIARCH_STUDY_PERF_MODEL_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The three study kernels mapped onto VIRAM (Section 3 of the paper):
+ *
+ *  - corner turn: 16-column blocks, strided column loads (limited by
+ *    the four address generators) with row padding, unit-stride
+ *    stores — Section 3.1;
+ *  - CSLC: register-resident vectorized 128-point FFTs whose data
+ *    reordering is done with explicit vector permute instructions
+ *    (the paper's "FFT shuffle" overhead), weight application, and
+ *    inverse FFTs — Section 3.2;
+ *  - beam steering: hand-vectorized integer pipeline, two table
+ *    loads, five adds and a shift per output — Section 3.3.
+ *
+ * Every function loads the inputs into simulated on-chip DRAM, runs
+ * the timed vector program, and returns both the cycle count and the
+ * kernel output read back from simulated memory so callers can
+ * validate against the reference kernels.
+ */
+
+#ifndef TRIARCH_VIRAM_KERNELS_VIRAM_HH
+#define TRIARCH_VIRAM_KERNELS_VIRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/beam_steering.hh"
+#include "kernels/corner_turn.hh"
+#include "kernels/cslc.hh"
+#include "sim/types.hh"
+#include "viram/machine.hh"
+
+namespace triarch::viram
+{
+
+/** Words of padding appended to each matrix row to spread banks. */
+constexpr unsigned cornerTurnPadWords = 8;
+
+/**
+ * Corner turn on VIRAM. Blocks of 64 rows x 16 columns: each block
+ * column is gathered with one strided vector load (vl = 64) and
+ * written back with one unit-stride store.
+ *
+ * @param machine  the VIRAM model (timing is reset first)
+ * @param src      source matrix (rows x cols, both multiples of 64/16)
+ * @param dst      output: the transposed matrix read back from DRAM
+ * @return total machine cycles
+ */
+Cycles cornerTurnViram(ViramMachine &machine,
+                       const kernels::WordMatrix &src,
+                       kernels::WordMatrix &dst,
+                       unsigned rowBlock = 64);
+
+/**
+ * CSLC on VIRAM: per sub-band, FFT all four channels, apply the
+ * cancellation weights to the main channels, IFFT. Uses the
+ * register-resident radix-2 FFT with vperm shuffles.
+ */
+Cycles cslcViram(ViramMachine &machine, const kernels::CslcConfig &cfg,
+                 const kernels::CslcInput &in,
+                 const kernels::CslcWeights &weights,
+                 kernels::CslcOutput &out);
+
+/**
+ * Beam steering on VIRAM, vectorized over antenna elements with the
+ * steering accumulator kept in a vector register across groups.
+ */
+Cycles beamSteeringViram(ViramMachine &machine,
+                         const kernels::BeamConfig &cfg,
+                         const kernels::BeamTables &tables,
+                         std::vector<std::int32_t> &out);
+
+/**
+ * The register-resident vectorized 128-point FFT used by cslcViram,
+ * exposed for tests and the ablation benches. Data lives in four
+ * vector registers as re/im half-planes; each of the 7 radix-2
+ * stages is 4 gather permutes, 10 FP ops, and 4 scatter permutes.
+ */
+class ViramFft128
+{
+  public:
+    /** Builds permute tables and pokes twiddles into machine DRAM. */
+    explicit ViramFft128(ViramMachine &machine);
+
+    /**
+     * Load 128 interleaved complex floats from @p base into the
+     * working register planes (four strided loads + bit-reversal
+     * permutes).
+     */
+    void loadTimeBlock(Addr base);
+
+    /** Load spectrum planes stored by storePlanes(). */
+    void loadPlanes(Addr plane_base);
+
+    /** Store the working planes (re0, re1, im0, im1; 64 words each). */
+    void storePlanes(Addr plane_base);
+
+    /** Run the 7 butterfly stages; inverse applies 1/N scaling. */
+    void transform(bool inverse);
+
+    /**
+     * Working-plane register numbers (re0, re1, im0, im1); the CSLC
+     * weight stage operates on these directly.
+     */
+    static constexpr Vreg planeRe0 = 0, planeRe1 = 1;
+    static constexpr Vreg planeIm0 = 2, planeIm1 = 3;
+
+  private:
+    struct Stage
+    {
+        std::vector<std::uint16_t> top, bot;    //!< gather tables
+        std::vector<std::uint16_t> scat0, scat1; //!< scatter tables
+    };
+
+    ViramMachine &mach;
+    std::vector<Stage> stages;
+    Addr twForward = 0;     //!< per-stage twiddle planes in DRAM
+    Addr twInverse = 0;
+};
+
+} // namespace triarch::viram
+
+#endif // TRIARCH_VIRAM_KERNELS_VIRAM_HH

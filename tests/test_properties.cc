@@ -1,0 +1,552 @@
+/**
+ * @file
+ * Cross-module property tests: invariants that must hold across all
+ * machine models and parameter sweeps —
+ *
+ *  - functional equivalence: every machine computes the same kernel
+ *    outputs for the same inputs (bitwise for the integer kernels);
+ *  - determinism: re-running a simulation yields identical cycles;
+ *  - microarchitectural monotonicity: more of a resource never
+ *    makes a kernel slower (address generators, memory engines,
+ *    tiles, cache ways);
+ *  - timing sanity: cycle counts scale with problem size.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imagine/kernels_imagine.hh"
+#include "kernels/fft.hh"
+#include "mem/cache.hh"
+#include "ppc/kernels_ppc.hh"
+#include "raw/kernels_raw.hh"
+#include "sim/rng.hh"
+#include "viram/kernels_viram.hh"
+
+namespace triarch
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// Functional equivalence across machines.
+// ---------------------------------------------------------------
+
+class TransposeSizes
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(TransposeSizes, AllMachinesAgreeBitwise)
+{
+    const auto [rows, cols] = GetParam();
+    kernels::WordMatrix src(rows, cols);
+    kernels::fillMatrix(src, rows * 31 + cols);
+    kernels::WordMatrix expect(cols, rows);
+    kernels::transposeNaive(src, expect);
+
+    {
+        viram::ViramMachine m;
+        kernels::WordMatrix dst;
+        viram::cornerTurnViram(m, src, dst);
+        EXPECT_EQ(dst, expect) << "viram " << rows << "x" << cols;
+    }
+    {
+        imagine::ImagineMachine m;
+        kernels::WordMatrix dst;
+        imagine::cornerTurnImagine(m, src, dst);
+        EXPECT_EQ(dst, expect) << "imagine " << rows << "x" << cols;
+    }
+    if (rows == cols) {
+        raw::RawMachine m;
+        kernels::WordMatrix dst;
+        raw::cornerTurnRaw(m, src, dst);
+        EXPECT_EQ(dst, expect) << "raw " << rows << "x" << cols;
+    }
+    for (bool altivec : {false, true}) {
+        ppc::PpcMachine m;
+        kernels::WordMatrix dst;
+        ppc::cornerTurnPpc(m, src, dst, altivec);
+        EXPECT_EQ(dst, expect) << "ppc " << rows << "x" << cols;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TransposeSizes,
+    ::testing::Values(std::pair{64u, 64u}, std::pair{128u, 128u},
+                      std::pair{64u, 128u}, std::pair{192u, 64u},
+                      std::pair{256u, 256u}));
+
+class BeamElementCounts : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BeamElementCounts, AllMachinesAgreeBitwise)
+{
+    kernels::BeamConfig cfg;
+    cfg.elements = GetParam();  // includes non-multiples of 64 and 16
+    cfg.dwells = 2;
+    auto tables = kernels::makeBeamTables(cfg, GetParam());
+    auto expect = kernels::beamSteerReference(cfg, tables);
+
+    std::vector<std::int32_t> out;
+    {
+        viram::ViramMachine m;
+        viram::beamSteeringViram(m, cfg, tables, out);
+        EXPECT_EQ(out, expect) << "viram";
+    }
+    {
+        imagine::ImagineMachine m;
+        imagine::beamSteeringImagine(m, cfg, tables, out);
+        EXPECT_EQ(out, expect) << "imagine";
+    }
+    {
+        raw::RawMachine m;
+        raw::beamSteeringRaw(m, cfg, tables, out);
+        EXPECT_EQ(out, expect) << "raw";
+    }
+    for (bool altivec : {false, true}) {
+        ppc::PpcMachine m;
+        ppc::beamSteeringPpc(m, cfg, tables, out, altivec);
+        EXPECT_EQ(out, expect) << "ppc";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, BeamElementCounts,
+                         ::testing::Values(17u, 64u, 100u, 129u, 402u,
+                                           1608u));
+
+class CslcJammerSets
+    : public ::testing::TestWithParam<std::vector<unsigned>>
+{
+};
+
+TEST_P(CslcJammerSets, AllMachinesCancelAndAgree)
+{
+    kernels::CslcConfig cfg;
+    cfg.subBands = 6;
+    cfg.samples = (cfg.subBands - 1) * cfg.subBandStride
+                  + cfg.subBandLen;
+    auto in = kernels::makeJammedInput(cfg, GetParam(), 99);
+    auto weights = kernels::estimateWeights(cfg, in);
+    auto refR2 = kernels::cslcReference(cfg, in, weights,
+                                        kernels::FftAlgo::Radix2);
+    auto refMx = kernels::cslcReference(cfg, in, weights,
+                                        kernels::FftAlgo::Mixed128);
+
+    auto rmsErr = [](const kernels::CslcOutput &a,
+                     const kernels::CslcOutput &b) {
+        double err = 0.0, n = 0.0;
+        for (unsigned m = 0; m < a.main.size(); ++m) {
+            for (std::size_t i = 0; i < a.main[m].size(); ++i) {
+                err += std::norm(a.main[m][i] - b.main[m][i]);
+                n += 1.0;
+            }
+        }
+        return std::sqrt(err / n);
+    };
+
+    kernels::CslcOutput out;
+    {
+        viram::ViramMachine m;
+        viram::cslcViram(m, cfg, in, weights, out);
+        EXPECT_LT(rmsErr(out, refR2), 2e-3) << "viram";
+        EXPECT_GT(kernels::cancellationDepthDb(cfg, in, out), 12.0);
+    }
+    {
+        imagine::ImagineMachine m;
+        imagine::cslcImagine(m, cfg, in, weights, out);
+        EXPECT_LT(rmsErr(out, refMx), 1e-6) << "imagine";
+    }
+    {
+        raw::RawMachine m;
+        raw::cslcRaw(m, cfg, in, weights, out);
+        EXPECT_LT(rmsErr(out, refR2), 2e-3) << "raw";
+    }
+    {
+        raw::RawMachine m;
+        raw::cslcRawStreamed(m, cfg, in, weights, out);
+        EXPECT_LT(rmsErr(out, refR2), 2e-3) << "raw streamed";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Jammers, CslcJammerSets,
+    ::testing::Values(std::vector<unsigned>{100},
+                      std::vector<unsigned>{50, 300},
+                      std::vector<unsigned>{10, 333, 600}));
+
+// ---------------------------------------------------------------
+// Determinism: identical runs give identical cycle counts.
+// ---------------------------------------------------------------
+
+TEST(Determinism, ViramCornerTurn)
+{
+    kernels::WordMatrix src(128, 64);
+    kernels::fillMatrix(src, 1);
+    kernels::WordMatrix dst;
+    viram::ViramMachine m1, m2;
+    EXPECT_EQ(viram::cornerTurnViram(m1, src, dst),
+              viram::cornerTurnViram(m2, src, dst));
+}
+
+TEST(Determinism, ImagineBeamSteering)
+{
+    kernels::BeamConfig cfg;
+    cfg.elements = 200;
+    cfg.dwells = 2;
+    auto tables = kernels::makeBeamTables(cfg, 2);
+    std::vector<std::int32_t> out;
+    imagine::ImagineMachine m1, m2;
+    EXPECT_EQ(imagine::beamSteeringImagine(m1, cfg, tables, out),
+              imagine::beamSteeringImagine(m2, cfg, tables, out));
+}
+
+TEST(Determinism, RawCslc)
+{
+    kernels::CslcConfig cfg;
+    cfg.subBands = 4;
+    cfg.samples = (cfg.subBands - 1) * cfg.subBandStride
+                  + cfg.subBandLen;
+    auto in = kernels::makeJammedInput(cfg, {80}, 7);
+    auto weights = kernels::estimateWeights(cfg, in);
+    kernels::CslcOutput out;
+    raw::RawMachine m1, m2;
+    EXPECT_EQ(raw::cslcRaw(m1, cfg, in, weights, out).cycles,
+              raw::cslcRaw(m2, cfg, in, weights, out).cycles);
+}
+
+TEST(Determinism, PpcCslc)
+{
+    kernels::CslcConfig cfg;
+    cfg.subBands = 3;
+    cfg.samples = (cfg.subBands - 1) * cfg.subBandStride
+                  + cfg.subBandLen;
+    auto in = kernels::makeJammedInput(cfg, {90}, 8);
+    auto weights = kernels::estimateWeights(cfg, in);
+    kernels::CslcOutput out;
+    ppc::PpcMachine m1, m2;
+    EXPECT_EQ(ppc::cslcPpc(m1, cfg, in, weights, out, true),
+              ppc::cslcPpc(m2, cfg, in, weights, out, true));
+}
+
+// ---------------------------------------------------------------
+// Resource monotonicity.
+// ---------------------------------------------------------------
+
+TEST(Monotonicity, ViramAddressGenerators)
+{
+    kernels::WordMatrix src(256, 128);
+    kernels::fillMatrix(src, 3);
+    kernels::WordMatrix dst;
+    Cycles prev = ~Cycles{0};
+    for (unsigned gens : {1u, 2u, 4u, 8u}) {
+        viram::ViramConfig cfg;
+        cfg.addrGens = gens;
+        viram::ViramMachine m(cfg);
+        const Cycles c = viram::cornerTurnViram(m, src, dst);
+        EXPECT_LE(c, prev) << gens << " generators";
+        prev = c;
+    }
+}
+
+TEST(Monotonicity, ImagineMemoryEngines)
+{
+    kernels::WordMatrix src(128, 128);
+    kernels::fillMatrix(src, 4);
+    kernels::WordMatrix dst;
+    Cycles prev = ~Cycles{0};
+    for (unsigned engines : {1u, 2u, 4u}) {
+        imagine::ImagineConfig cfg;
+        cfg.memEngines = engines;
+        imagine::ImagineMachine m(cfg);
+        const Cycles c = imagine::cornerTurnImagine(m, src, dst);
+        EXPECT_LE(c, prev) << engines << " engines";
+        prev = c;
+    }
+}
+
+TEST(Monotonicity, RawMeshSize)
+{
+    kernels::BeamConfig cfg;
+    cfg.elements = 800;
+    cfg.dwells = 2;
+    auto tables = kernels::makeBeamTables(cfg, 6);
+    std::vector<std::int32_t> out;
+    Cycles prev = ~Cycles{0};
+    for (unsigned edge : {1u, 2u, 4u}) {
+        raw::RawConfig rcfg;
+        rcfg.meshWidth = edge;
+        rcfg.meshHeight = edge;
+        raw::RawMachine m(rcfg);
+        const Cycles c = raw::beamSteeringRaw(m, cfg, tables, out);
+        EXPECT_LT(c, prev) << edge << "x" << edge;
+        prev = c;
+    }
+}
+
+TEST(Monotonicity, CacheWaysNeverHurtLru)
+{
+    // LRU inclusion: with the set count fixed, adding ways can only
+    // remove misses. Random trace over a small footprint.
+    Rng rng(42);
+    std::vector<Addr> trace(20000);
+    for (auto &a : trace)
+        a = (rng.nextBelow(1 << 14)) & ~3ULL;
+
+    std::uint64_t prev = ~0ULL;
+    for (unsigned assoc : {1u, 2u, 4u, 8u}) {
+        mem::CacheConfig cfg;
+        cfg.sizeBytes = 64u * 32 * assoc;   // 64 sets always
+        cfg.assoc = assoc;
+        cfg.lineBytes = 32;
+        mem::SetAssocCache cache(cfg);
+        for (Addr a : trace)
+            cache.access(a, false);
+        EXPECT_LE(cache.misses(), prev) << assoc << " ways";
+        prev = cache.misses();
+    }
+}
+
+TEST(Monotonicity, DramMoreBanksNeverSlower)
+{
+    Cycles prev = ~Cycles{0};
+    for (unsigned banks : {1u, 2u, 4u, 8u}) {
+        mem::DramConfig cfg;
+        cfg.banks = banks;
+        cfg.rowBytes = 512;
+        cfg.bankInterleaveBytes = 512;
+        cfg.timing = {2, 4, 4, 2};
+        mem::DramModel dram(cfg);
+        Cycles t = 0;
+        for (unsigned i = 0; i < 512; ++i)
+            t = dram.access(i * 512, 32, 0).finish;
+        EXPECT_LE(t, prev) << banks << " banks";
+        prev = t;
+    }
+}
+
+// ---------------------------------------------------------------
+// Problem-size scaling.
+// ---------------------------------------------------------------
+
+TEST(Scaling, CornerTurnCyclesGrowWithSize)
+{
+    kernels::WordMatrix dst;
+    Cycles prevV = 0, prevR = 0;
+    for (unsigned n : {64u, 128u, 256u}) {
+        kernels::WordMatrix src(n, n);
+        kernels::fillMatrix(src, n);
+        viram::ViramMachine vm;
+        const Cycles vc = viram::cornerTurnViram(vm, src, dst);
+        EXPECT_GT(vc, prevV);
+        prevV = vc;
+        raw::RawMachine rm;
+        const Cycles rc = raw::cornerTurnRaw(rm, src, dst);
+        EXPECT_GT(rc, prevR);
+        prevR = rc;
+    }
+}
+
+TEST(Scaling, ViramCornerTurnRoughlyLinearInArea)
+{
+    kernels::WordMatrix dst;
+    kernels::WordMatrix small(128, 128), big(256, 256);
+    kernels::fillMatrix(small, 1);
+    kernels::fillMatrix(big, 2);
+    viram::ViramMachine m1, m2;
+    const double ratio =
+        static_cast<double>(viram::cornerTurnViram(m2, big, dst))
+        / static_cast<double>(viram::cornerTurnViram(m1, small, dst));
+    // 4x the elements: between 3x and 5x the cycles.
+    EXPECT_GT(ratio, 3.0);
+    EXPECT_LT(ratio, 5.0);
+}
+
+TEST(Scaling, BeamSteeringLinearInDwells)
+{
+    kernels::BeamConfig small, big;
+    small.dwells = 2;
+    big.dwells = 8;
+    auto tablesS = kernels::makeBeamTables(small, 5);
+    auto tablesB = kernels::makeBeamTables(big, 5);
+    std::vector<std::int32_t> out;
+    raw::RawMachine m1, m2;
+    const Cycles cs = raw::beamSteeringRaw(m1, small, tablesS, out);
+    const Cycles cb = raw::beamSteeringRaw(m2, big, tablesB, out);
+    const double ratio = static_cast<double>(cb) / cs;
+    EXPECT_GT(ratio, 3.0);
+    EXPECT_LT(ratio, 5.0);
+}
+
+// ---------------------------------------------------------------
+// FFT numerical properties across random signals.
+// ---------------------------------------------------------------
+
+class FftSeeds : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FftSeeds, ParsevalAndRoundTrip)
+{
+    Rng rng(GetParam());
+    std::vector<kernels::cfloat> x(128);
+    for (auto &v : x)
+        v = {rng.nextSignedFloat(), rng.nextSignedFloat()};
+
+    double timePower = 0.0;
+    for (auto &v : x)
+        timePower += std::norm(v);
+
+    auto spec = x;
+    kernels::fftMixed128(spec);
+    double freqPower = 0.0;
+    for (auto &v : spec)
+        freqPower += std::norm(v);
+    EXPECT_NEAR(freqPower / 128.0, timePower, 1e-3 * timePower);
+
+    kernels::ifftMixed128(spec);
+    double err = 0.0;
+    for (unsigned i = 0; i < 128; ++i)
+        err = std::max<double>(err, std::abs(spec[i] - x[i]));
+    EXPECT_LT(err, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FftSeeds,
+                         ::testing::Range(100u, 112u));
+
+} // namespace
+} // namespace triarch
+
+// Re-opened: the functional/timing separation property (DESIGN.md
+// D1). Changing only timing parameters must never change what any
+// machine computes — outputs are bitwise invariant while cycle
+// counts move.
+namespace triarch
+{
+namespace
+{
+
+TEST(TimingFunctionalSeparation, ViramConfigsDontChangeOutputs)
+{
+    kernels::WordMatrix src(128, 64);
+    kernels::fillMatrix(src, 9);
+
+    viram::ViramMachine base;
+    kernels::WordMatrix expect;
+    const Cycles baseCycles =
+        viram::cornerTurnViram(base, src, expect);
+
+    viram::ViramConfig slow;
+    slow.arithStartup = 20;
+    slow.memStartup = 50;
+    slow.chainLatency = 1000;
+    slow.addrGens = 1;
+    slow.rowMissCycles = 10;
+    slow.tlbMissPenalty = 100;
+    viram::ViramMachine m(slow);
+    kernels::WordMatrix dst;
+    const Cycles slowCycles = viram::cornerTurnViram(m, src, dst);
+
+    EXPECT_EQ(dst, expect);             // bitwise identical output
+    EXPECT_GT(slowCycles, baseCycles);  // but very different timing
+}
+
+TEST(TimingFunctionalSeparation, RawConfigsDontChangeOutputs)
+{
+    kernels::CslcConfig cfg;
+    cfg.subBands = 4;
+    cfg.samples = (cfg.subBands - 1) * cfg.subBandStride
+                  + cfg.subBandLen;
+    auto in = kernels::makeJammedInput(cfg, {60}, 12);
+    auto weights = kernels::estimateWeights(cfg, in);
+
+    raw::RawMachine base;
+    kernels::CslcOutput expect;
+    auto baseResult = raw::cslcRaw(base, cfg, in, weights, expect);
+
+    raw::RawConfig slow;
+    slow.fpLatency = 9;
+    slow.loadLatency = 8;
+    slow.cacheMissPenalty = 100;
+    slow.netBaseLatency = 10;
+    slow.fifoCapacity = 2;
+    raw::RawMachine m(slow);
+    kernels::CslcOutput out;
+    auto slowResult = raw::cslcRaw(m, cfg, in, weights, out);
+
+    for (unsigned mc = 0; mc < 2; ++mc)
+        EXPECT_EQ(out.main[mc], expect.main[mc]);
+    EXPECT_GT(slowResult.cycles, baseResult.cycles);
+}
+
+TEST(TimingFunctionalSeparation, ImagineConfigsDontChangeOutputs)
+{
+    kernels::BeamConfig cfg;
+    cfg.elements = 300;
+    cfg.dwells = 2;
+    auto tables = kernels::makeBeamTables(cfg, 14);
+
+    imagine::ImagineMachine base;
+    std::vector<std::int32_t> expect;
+    const Cycles baseCycles =
+        imagine::beamSteeringImagine(base, cfg, tables, expect);
+
+    imagine::ImagineConfig slow;
+    slow.hostIssueCycles = 200;
+    slow.streamDescRegs = 1;
+    slow.srfWordsPerClusterCycle = 1;
+    imagine::ImagineMachine m(slow);
+    std::vector<std::int32_t> out;
+    const Cycles slowCycles =
+        imagine::beamSteeringImagine(m, cfg, tables, out);
+
+    EXPECT_EQ(out, expect);
+    EXPECT_GT(slowCycles, baseCycles);
+}
+
+TEST(TimingFunctionalSeparation, PpcConfigsDontChangeOutputs)
+{
+    kernels::WordMatrix src(96, 96);
+    kernels::fillMatrix(src, 15);
+
+    ppc::PpcMachine base;
+    kernels::WordMatrix expect;
+    const Cycles baseCycles =
+        ppc::cornerTurnPpc(base, src, expect, true);
+
+    ppc::PpcConfig slow;
+    slow.memLatency = 500;
+    slow.fpChainLatency = 20;
+    slow.l1Bytes = 4096;
+    ppc::PpcMachine m(slow);
+    kernels::WordMatrix dst;
+    const Cycles slowCycles = ppc::cornerTurnPpc(m, src, dst, true);
+
+    EXPECT_EQ(dst, expect);
+    EXPECT_GT(slowCycles, baseCycles);
+}
+
+// Raw corner turn with block-row counts that do not divide the
+// tile count (some tiles idle, work still correct).
+class RawOddGrids : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RawOddGrids, CornerTurnCorrectWithIdleTiles)
+{
+    const unsigned n = GetParam();
+    kernels::WordMatrix src(n, n);
+    kernels::fillMatrix(src, n);
+    raw::RawMachine m;
+    kernels::WordMatrix dst;
+    raw::cornerTurnRaw(m, src, dst);
+    EXPECT_TRUE(kernels::isTransposeOf(src, dst));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, RawOddGrids,
+                         ::testing::Values(64u, 192u, 320u, 1088u));
+
+} // namespace
+} // namespace triarch

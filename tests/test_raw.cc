@@ -1,0 +1,875 @@
+/**
+ * @file
+ * Tests for the Raw machine model: assembler/ISA semantics, the tile
+ * interpreter (latencies, stalls, branching), the static network and
+ * its blocking $csti/$csto registers, DMA port streams, the cached
+ * MIMD mode, the assembled FFT building block, and end-to-end kernel
+ * correctness against the references.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/fft.hh"
+#include "raw/assembler.hh"
+#include "raw/kernels_raw.hh"
+#include "raw/machine.hh"
+#include "sim/bitutil.hh"
+#include "sim/logging.hh"
+
+namespace triarch::raw
+{
+namespace
+{
+
+using kernels::cfloat;
+
+TEST(Assembler, EmitsAndDisassembles)
+{
+    Assembler as;
+    as.li(1, 42);
+    as.add(2, 1, 1);
+    as.halt();
+    auto prog = as.finish();
+    ASSERT_EQ(prog.size(), 3u);
+    EXPECT_EQ(prog[0].op, Op::Li);
+    EXPECT_EQ(disassemble(prog[0]), "li r1, 42");
+    EXPECT_EQ(disassemble(prog[1]), "add r2, r1, r1");
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward)
+{
+    Assembler as;
+    Label fwd = as.label();
+    as.jump(fwd);           // instruction 0 -> target 2
+    as.li(1, 1);            // skipped
+    as.bind(fwd);
+    Label back = as.label();
+    as.bind(back);
+    as.li(2, 2);            // instruction 2
+    as.bne(2, 0, back);     // loops once? no: 2 != 0 -> loops forever
+    auto prog = as.finish();
+    EXPECT_EQ(prog[0].imm, 2);
+    EXPECT_EQ(prog[3].imm, 2);
+}
+
+TEST(Assembler, UnboundLabelDies)
+{
+    EXPECT_DEATH(
+        {
+            Assembler as;
+            Label l = as.label();
+            as.jump(l);
+            as.finish();
+        },
+        "unbound label");
+}
+
+TEST(Assembler, NetworkRegisterNames)
+{
+    Instr i{Op::Add, static_cast<std::uint8_t>(regCsto),
+            static_cast<std::uint8_t>(regCsti),
+            static_cast<std::uint8_t>(regCsti), 0};
+    EXPECT_EQ(disassemble(i), "add $csto, $csti, $csti");
+}
+
+/** Run a single-tile program and return the machine. */
+std::unique_ptr<RawMachine>
+runOne(std::vector<Instr> prog)
+{
+    auto m = std::make_unique<RawMachine>();
+    m->setProgram(0, std::move(prog));
+    m->run();
+    return m;
+}
+
+TEST(RawTile, ArithmeticSemantics)
+{
+    Assembler as;
+    as.li(1, 100);
+    as.li(2, -30);
+    as.add(3, 1, 2);        // 70
+    as.sub(4, 1, 2);        // 130
+    as.mul(5, 1, 2);        // -3000
+    as.sll(6, 1, 3);        // 800
+    as.sra(7, 2, 1);        // -15
+    as.srl(8, 2, 28);       // high bits of -30
+    as.and_(9, 1, 2);
+    as.or_(10, 1, 2);
+    as.xor_(11, 1, 1);      // 0
+    as.sw(3, 0, 0);
+    as.sw(4, 0, 4);
+    as.sw(5, 0, 8);
+    as.sw(6, 0, 12);
+    as.sw(7, 0, 16);
+    as.sw(8, 0, 20);
+    as.sw(11, 0, 24);
+    as.halt();
+
+    auto m = runOne(as.finish());
+    auto w = m->peekLocal(0, 0, 7);
+    EXPECT_EQ(static_cast<std::int32_t>(w[0]), 70);
+    EXPECT_EQ(static_cast<std::int32_t>(w[1]), 130);
+    EXPECT_EQ(static_cast<std::int32_t>(w[2]), -3000);
+    EXPECT_EQ(w[3], 800u);
+    EXPECT_EQ(static_cast<std::int32_t>(w[4]), -15);
+    EXPECT_EQ(w[5], 0xFu);
+    EXPECT_EQ(w[6], 0u);
+}
+
+TEST(RawTile, FloatingPointSemantics)
+{
+    Assembler as;
+    as.li(1, static_cast<std::int32_t>(floatToWord(1.5f)));
+    as.li(2, static_cast<std::int32_t>(floatToWord(-2.25f)));
+    as.fadd(3, 1, 2);
+    as.fsub(4, 1, 2);
+    as.fmul(5, 1, 2);
+    as.sw(3, 0, 0);
+    as.sw(4, 0, 4);
+    as.sw(5, 0, 8);
+    as.halt();
+
+    auto m = runOne(as.finish());
+    auto w = m->peekLocal(0, 0, 3);
+    EXPECT_FLOAT_EQ(wordToFloat(w[0]), -0.75f);
+    EXPECT_FLOAT_EQ(wordToFloat(w[1]), 3.75f);
+    EXPECT_FLOAT_EQ(wordToFloat(w[2]), -3.375f);
+}
+
+TEST(RawTile, RegisterZeroIsHardwired)
+{
+    Assembler as;
+    as.li(0, 123);          // write to r0 is dropped
+    as.addi(1, 0, 7);
+    as.sw(1, 0, 0);
+    as.halt();
+    auto m = runOne(as.finish());
+    EXPECT_EQ(m->peekLocal(0, 0, 1)[0], 7u);
+}
+
+TEST(RawTile, BranchLoopCountsCorrectly)
+{
+    Assembler as;
+    as.li(1, 0);            // sum
+    as.li(2, 10);           // counter
+    Label loop = as.label();
+    as.bind(loop);
+    as.add(1, 1, 2);        // sum += counter
+    as.addi(2, 2, -1);
+    as.bne(2, 0, loop);
+    as.sw(1, 0, 0);
+    as.halt();
+    auto m = runOne(as.finish());
+    EXPECT_EQ(m->peekLocal(0, 0, 1)[0], 55u);    // 10+9+...+1
+}
+
+TEST(RawTile, BltBgeSignedComparison)
+{
+    Assembler as;
+    as.li(1, -5);
+    as.li(2, 3);
+    Label less = as.label();
+    as.blt(1, 2, less);
+    as.li(3, 0);            // skipped
+    as.jump(less);          // unreachable but keeps label sane
+    as.bind(less);
+    as.li(3, 1);
+    as.sw(3, 0, 0);
+    as.halt();
+    auto m = runOne(as.finish());
+    EXPECT_EQ(m->peekLocal(0, 0, 1)[0], 1u);
+}
+
+TEST(RawTile, DependentLatencyStalls)
+{
+    // A chain of dependent fmuls costs ~fpLatency each; independent
+    // fmuls retire one per cycle.
+    Assembler chain;
+    chain.li(1, static_cast<std::int32_t>(floatToWord(1.0f)));
+    for (int i = 0; i < 20; ++i)
+        chain.fmul(1, 1, 1);
+    chain.halt();
+    RawMachine m1;
+    m1.setProgram(0, chain.finish());
+    const Cycles chained = m1.run();
+
+    Assembler indep;
+    indep.li(1, static_cast<std::int32_t>(floatToWord(1.0f)));
+    for (int i = 0; i < 20; ++i)
+        indep.fmul(2 + (i % 8), 1, 1);
+    indep.halt();
+    RawMachine m2;
+    m2.setProgram(0, indep.finish());
+    const Cycles parallel = m2.run();
+
+    EXPECT_GT(chained, parallel + 20);
+}
+
+TEST(RawNetwork, TileToTileLatency)
+{
+    // Tile 0 sends one word to tile 1 ($csti blocks until arrival).
+    RawMachine m;
+    m.setRoute(0, 1);
+
+    Assembler sender;
+    sender.li(1, 777);
+    sender.move(regCsto, 1);
+    sender.halt();
+    m.setProgram(0, sender.finish());
+
+    Assembler receiver;
+    receiver.move(2, regCsti);
+    receiver.sw(2, 0, 0);
+    receiver.halt();
+    m.setProgram(1, receiver.finish());
+
+    m.run();
+    EXPECT_EQ(m.peekLocal(1, 0, 1)[0], 777u);
+    EXPECT_GT(m.netStalls(), 0u);   // receiver waited for arrival
+}
+
+TEST(RawNetwork, OperandsDirectlyFromNetwork)
+{
+    // add $csto, $csti, $csti — compute straight from the network.
+    RawMachine m;
+    m.setRoute(0, 1);
+    m.setRoute(1, 0);
+
+    Assembler t0;
+    t0.li(1, 30);
+    t0.move(regCsto, 1);
+    t0.li(1, 12);
+    t0.move(regCsto, 1);
+    t0.move(2, regCsti);        // get the sum back
+    t0.sw(2, 0, 0);
+    t0.halt();
+    m.setProgram(0, t0.finish());
+
+    Assembler t1;
+    t1.add(regCsto, regCsti, regCsti);
+    t1.halt();
+    m.setProgram(1, t1.finish());
+
+    m.run();
+    EXPECT_EQ(m.peekLocal(0, 0, 1)[0], 42u);
+}
+
+TEST(RawNetwork, FarTilesTakeLongerThanNeighbours)
+{
+    auto roundTrip = [](unsigned peer) {
+        RawMachine m;
+        m.setRoute(0, peer);
+        m.setRoute(peer, 0);
+        Assembler t0;
+        t0.li(1, 1);
+        t0.move(regCsto, 1);
+        t0.move(2, regCsti);
+        t0.halt();
+        m.setProgram(0, t0.finish());
+        Assembler tp;
+        tp.move(regCsto, regCsti);
+        tp.halt();
+        m.setProgram(peer, tp.finish());
+        return m.run();
+    };
+    // Tile 1 is one hop away; tile 15 is six hops away.
+    EXPECT_GT(roundTrip(15), roundTrip(1) + 8);
+}
+
+TEST(RawDma, StreamInReachesTile)
+{
+    RawMachine m;
+    const Addr buf = m.allocGlobal(64, "in");
+    std::vector<Word> data{5, 6, 7, 8};
+    m.pokeGlobal(buf, data);
+    m.dmaIn(0, 0, buf, 4);
+
+    Assembler as;
+    for (int i = 0; i < 4; ++i) {
+        as.move(1, regCsti);
+        as.sw(1, 0, i * 4);
+    }
+    as.halt();
+    m.setProgram(0, as.finish());
+    m.run();
+    EXPECT_EQ(m.peekLocal(0, 0, 4), data);
+}
+
+TEST(RawDma, StreamOutWritesMemory)
+{
+    RawMachine m;
+    const Addr buf = m.allocGlobal(64, "out");
+    m.dmaOut(3, buf, 4);
+    m.setRoute(3, portEndpoint(3));
+
+    Assembler as;
+    for (int i = 0; i < 4; ++i)
+        as.li(regCsto, 100 + i);
+    as.halt();
+    m.setProgram(3, as.finish());
+    m.run();
+    auto w = m.peekGlobal(buf, 4);
+    EXPECT_EQ(w, (std::vector<Word>{100, 101, 102, 103}));
+}
+
+TEST(RawDma, RoundTripThroughTile)
+{
+    // DMA in -> tile doubles each word -> DMA out.
+    RawMachine m;
+    const Addr in = m.allocGlobal(256, "in");
+    const Addr out = m.allocGlobal(256, "out");
+    std::vector<Word> data(64);
+    for (unsigned i = 0; i < 64; ++i)
+        data[i] = i;
+    m.pokeGlobal(in, data);
+    m.dmaIn(5, 5, in, 64);
+    m.dmaOut(5, out, 64);
+    m.setRoute(5, portEndpoint(5));
+
+    Assembler as;
+    as.li(2, 64);
+    Label loop = as.label();
+    as.bind(loop);
+    as.move(1, regCsti);
+    as.add(regCsto, 1, 1);
+    as.addi(2, 2, -1);
+    as.bne(2, 0, loop);
+    as.halt();
+    m.setProgram(5, as.finish());
+    m.run();
+    auto w = m.peekGlobal(out, 64);
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(w[i], 2 * i);
+}
+
+TEST(RawDma, DoubleReadPopsTwoWords)
+{
+    RawMachine m;
+    const Addr in = m.allocGlobal(64, "in");
+    m.pokeGlobal(in, std::vector<Word>{10, 32});
+    m.dmaIn(0, 0, in, 2);
+    Assembler as;
+    as.add(1, regCsti, regCsti);
+    as.sw(1, 0, 0);
+    as.halt();
+    m.setProgram(0, as.finish());
+    m.run();
+    EXPECT_EQ(m.peekLocal(0, 0, 1)[0], 42u);
+}
+
+TEST(RawCache, GlobalAccessesAreCached)
+{
+    RawMachine m;
+    const Addr buf = m.allocGlobal(4096, "buf");
+    std::vector<Word> data(1024);
+    for (unsigned i = 0; i < 1024; ++i)
+        data[i] = i * 3;
+    m.pokeGlobal(buf, data);
+
+    // Sum 256 sequential words twice; the second pass hits.
+    Assembler as;
+    as.li(1, static_cast<std::int32_t>(buf));
+    as.li(2, 256);
+    as.li(3, 0);
+    Label loop = as.label();
+    as.bind(loop);
+    as.lw(4, 1, 0);
+    as.add(3, 3, 4);
+    as.addi(1, 1, 4);
+    as.addi(2, 2, -1);
+    as.bne(2, 0, loop);
+    as.sw(3, 0, 0);
+    as.halt();
+    m.setProgram(0, as.finish());
+    const Cycles withMisses = m.run();
+    EXPECT_GT(m.cacheStallCycles(), 0u);
+
+    Word expect = 0;
+    for (unsigned i = 0; i < 256; ++i)
+        expect += i * 3;
+    EXPECT_EQ(m.peekLocal(0, 0, 1)[0], expect);
+    EXPECT_GT(withMisses, 256u * 5);
+}
+
+TEST(RawMachineTest, DeadlockIsFatal)
+{
+    RawConfig cfg;
+    cfg.maxCycles = 10000;
+    EXPECT_DEATH(
+        {
+            RawMachine m(cfg);
+            Assembler as;
+            as.move(1, regCsti);    // nothing will ever arrive
+            as.halt();
+            m.setProgram(0, as.finish());
+            m.run();
+        },
+        "deadlock");
+}
+
+TEST(RawMachineTest, DescribeMentionsMeshAndPorts)
+{
+    RawMachine m;
+    const std::string d = m.describe();
+    EXPECT_NE(d.find("4x4 tiles"), std::string::npos);
+    EXPECT_NE(d.find("static mesh"), std::string::npos);
+    EXPECT_NE(d.find("DRAM ports"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// The assembled FFT building block.
+// ---------------------------------------------------------------
+
+class RawFftTest : public ::testing::Test
+{
+  protected:
+    /** Run emitFft128Local on tile 0 over @p x; returns the result. */
+    static std::vector<cfloat>
+    runFft(const std::vector<cfloat> &x, bool inverse)
+    {
+        RawMachine m;
+        const auto tw = kernels::twiddleTable(128);
+        std::vector<Word> twWords(256), buf(256);
+        for (unsigned k = 0; k < 128; ++k) {
+            twWords[2 * k] = floatToWord(tw[k].real());
+            twWords[2 * k + 1] = floatToWord(
+                inverse ? -tw[k].imag() : tw[k].imag());
+            buf[2 * k] = floatToWord(x[k].real());
+            buf[2 * k + 1] = floatToWord(x[k].imag());
+        }
+        m.pokeLocal(0, 0, twWords);
+        m.pokeLocal(0, 1024, buf);
+
+        Assembler as;
+        emitFft128Local(as, 1024, 0, false, inverse);
+        as.halt();
+        m.setProgram(0, as.finish());
+        m.run();
+
+        auto words = m.peekLocal(0, 1024, 256);
+        std::vector<cfloat> out(128);
+        for (unsigned k = 0; k < 128; ++k) {
+            out[k] = cfloat(wordToFloat(words[2 * k]),
+                            wordToFloat(words[2 * k + 1]));
+        }
+        return out;
+    }
+};
+
+TEST_F(RawFftTest, MatchesReferenceRadix2)
+{
+    std::vector<cfloat> x(128);
+    for (unsigned i = 0; i < 128; ++i)
+        x[i] = cfloat(std::sin(0.2f * i), std::cos(0.11f * i));
+    auto got = runFft(x, false);
+    auto ref = x;
+    kernels::fftRadix2(ref);
+    for (unsigned k = 0; k < 128; ++k)
+        EXPECT_NEAR(std::abs(got[k] - ref[k]), 0.0, 2e-3);
+}
+
+TEST_F(RawFftTest, InverseTwiddlesInvert)
+{
+    std::vector<cfloat> x(128);
+    for (unsigned i = 0; i < 128; ++i)
+        x[i] = cfloat(0.01f * i, -0.02f * i);
+    auto spec = runFft(x, false);
+    auto back = runFft(spec, true);     // unscaled inverse
+    for (unsigned k = 0; k < 128; ++k)
+        EXPECT_NEAR(std::abs(back[k] / 128.0f - x[k]), 0.0, 1e-3);
+}
+
+// ---------------------------------------------------------------
+// End-to-end kernels vs reference.
+// ---------------------------------------------------------------
+
+TEST(RawKernels, CornerTurnSmallMatchesReference)
+{
+    RawMachine m;
+    kernels::WordMatrix src(128, 128);
+    kernels::fillMatrix(src, 5);
+    kernels::WordMatrix dst;
+    const Cycles cycles = cornerTurnRaw(m, src, dst);
+    EXPECT_TRUE(kernels::isTransposeOf(src, dst));
+    EXPECT_GT(cycles, 0u);
+}
+
+TEST(RawKernels, CornerTurnKeepsTilesIssuing)
+{
+    RawMachine m;
+    kernels::WordMatrix src(1024, 1024);
+    kernels::fillMatrix(src, 6);
+    kernels::WordMatrix dst;
+    const Cycles cycles = cornerTurnRaw(m, src, dst);
+    ASSERT_TRUE(kernels::isTransposeOf(src, dst));
+    // Section 4.2: issue-rate limited, about 2 load/store per word
+    // plus loop overhead; memory ports are not the bottleneck.
+    const double instrPerCycle =
+        static_cast<double>(m.instructions()) / cycles / 16.0;
+    EXPECT_GT(instrPerCycle, 0.8);
+}
+
+TEST(RawKernels, BeamSteeringMatchesReference)
+{
+    RawMachine m;
+    kernels::BeamConfig cfg;
+    cfg.elements = 200;
+    cfg.dwells = 2;
+    auto tables = kernels::makeBeamTables(cfg, 3);
+    auto ref = kernels::beamSteerReference(cfg, tables);
+
+    std::vector<std::int32_t> out;
+    const Cycles cycles = beamSteeringRaw(m, cfg, tables, out);
+    EXPECT_EQ(out, ref);
+    EXPECT_GT(cycles, 0u);
+}
+
+TEST(RawKernels, BeamSteeringHasNoLoadsOrStores)
+{
+    RawMachine m;
+    kernels::BeamConfig cfg;
+    cfg.elements = 160;
+    cfg.dwells = 1;
+    auto tables = kernels::makeBeamTables(cfg, 4);
+    std::vector<std::int32_t> out;
+    beamSteeringRaw(m, cfg, tables, out);
+    // Stream mode: only the per-config constant loads touch memory
+    // (4 lw per tile per config); the per-output path has none.
+    EXPECT_LE(m.loadStores(), 16u * cfg.dwells * cfg.directions * 4);
+}
+
+TEST(RawKernels, CslcMatchesReference)
+{
+    RawMachine m;
+    kernels::CslcConfig cfg;
+    cfg.subBands = 5;
+    cfg.samples = (cfg.subBands - 1) * cfg.subBandStride
+                  + cfg.subBandLen;
+    auto in = kernels::makeJammedInput(cfg, {100, 351}, 17);
+    auto weights = kernels::estimateWeights(cfg, in);
+    auto ref = kernels::cslcReference(cfg, in, weights,
+                                      kernels::FftAlgo::Radix2);
+
+    kernels::CslcOutput out;
+    auto result = cslcRaw(m, cfg, in, weights, out);
+    EXPECT_GT(result.cycles, 0u);
+
+    double maxErr = 0.0;
+    for (unsigned mc = 0; mc < cfg.mainChannels; ++mc) {
+        for (std::size_t i = 0; i < ref.main[mc].size(); ++i) {
+            maxErr = std::max<double>(
+                maxErr, std::abs(ref.main[mc][i] - out.main[mc][i]));
+        }
+    }
+    EXPECT_LT(maxErr, 2e-2);
+}
+
+TEST(RawKernels, CslcCancelsJammer)
+{
+    RawMachine m;
+    kernels::CslcConfig cfg;
+    cfg.subBands = 8;
+    cfg.samples = (cfg.subBands - 1) * cfg.subBandStride
+                  + cfg.subBandLen;
+    auto in = kernels::makeJammedInput(cfg, {222}, 31);
+    auto weights = kernels::estimateWeights(cfg, in);
+    kernels::CslcOutput out;
+    cslcRaw(m, cfg, in, weights, out);
+    EXPECT_GT(kernels::cancellationDepthDb(cfg, in, out), 15.0);
+}
+
+TEST(RawKernels, CslcLoadImbalanceVisible)
+{
+    // 5 sub-bands on 16 tiles: 5 tiles work, 11 idle -> big
+    // imbalance; the balanced extrapolation is much smaller.
+    RawMachine m;
+    kernels::CslcConfig cfg;
+    cfg.subBands = 5;
+    cfg.samples = (cfg.subBands - 1) * cfg.subBandStride
+                  + cfg.subBandLen;
+    auto in = kernels::makeJammedInput(cfg, {100}, 3);
+    auto weights = kernels::estimateWeights(cfg, in);
+    kernels::CslcOutput out;
+    auto result = cslcRaw(m, cfg, in, weights, out);
+    EXPECT_LT(result.balancedCycles, result.cycles / 2);
+    EXPECT_GT(result.idleFraction, 0.4);
+}
+
+TEST(RawKernels, CslcCacheStallsUnderTenPercent)
+{
+    RawMachine m;
+    kernels::CslcConfig cfg;
+    cfg.subBands = 16;      // perfectly balanced: 1 set per tile
+    cfg.samples = (cfg.subBands - 1) * cfg.subBandStride
+                  + cfg.subBandLen;
+    auto in = kernels::makeJammedInput(cfg, {55}, 8);
+    auto weights = kernels::estimateWeights(cfg, in);
+    kernels::CslcOutput out;
+    auto result = cslcRaw(m, cfg, in, weights, out);
+    // Section 4.3: "less than 10% of the execution time is spent on
+    // memory stalls".
+    const double stallFrac =
+        static_cast<double>(m.cacheStallCycles())
+        / (16.0 * result.cycles);
+    EXPECT_LT(stallFrac, 0.10);
+}
+
+} // namespace
+} // namespace triarch::raw
+
+// Re-opened for the completed Section 4.3 stream-mode mapping.
+namespace triarch::raw
+{
+namespace
+{
+
+TEST(RawKernels, StreamedCslcMatchesReference)
+{
+    RawMachine m;
+    kernels::CslcConfig cfg;
+    cfg.subBands = 5;
+    cfg.samples = (cfg.subBands - 1) * cfg.subBandStride
+                  + cfg.subBandLen;
+    auto in = kernels::makeJammedInput(cfg, {100, 351}, 17);
+    auto weights = kernels::estimateWeights(cfg, in);
+    auto ref = kernels::cslcReference(cfg, in, weights,
+                                      kernels::FftAlgo::Radix2);
+
+    kernels::CslcOutput out;
+    auto result = cslcRawStreamed(m, cfg, in, weights, out);
+    EXPECT_GT(result.cycles, 0u);
+
+    double maxErr = 0.0;
+    for (unsigned mc = 0; mc < cfg.mainChannels; ++mc) {
+        for (std::size_t i = 0; i < ref.main[mc].size(); ++i) {
+            maxErr = std::max<double>(
+                maxErr, std::abs(ref.main[mc][i] - out.main[mc][i]));
+        }
+    }
+    EXPECT_LT(maxErr, 2e-2);
+}
+
+TEST(RawKernels, StreamedCslcEliminatesCacheTraffic)
+{
+    kernels::CslcConfig cfg;
+    cfg.subBands = 16;
+    cfg.samples = (cfg.subBands - 1) * cfg.subBandStride
+                  + cfg.subBandLen;
+    auto in = kernels::makeJammedInput(cfg, {222}, 31);
+    auto weights = kernels::estimateWeights(cfg, in);
+
+    RawMachine cached, streamed;
+    kernels::CslcOutput out;
+    auto cachedResult = cslcRaw(cached, cfg, in, weights, out);
+    auto streamedResult = cslcRawStreamed(streamed, cfg, in, weights,
+                                          out);
+
+    // Section 4.3: the stream interface hides cache-miss stalls.
+    EXPECT_GT(cached.cacheStallCycles(), 0u);
+    EXPECT_EQ(streamed.cacheStallCycles(), 0u);
+    EXPECT_LT(streamedResult.cycles, cachedResult.cycles);
+}
+
+} // namespace
+} // namespace triarch::raw
+
+// Re-opened for the dynamic (packet) network of Section 2.3.
+namespace triarch::raw
+{
+namespace
+{
+
+TEST(RawDynamicNetwork, SendReceiveBetweenArbitraryTiles)
+{
+    RawMachine m;
+
+    Assembler sender;
+    sender.li(1, 14);           // destination tile id
+    sender.li(2, 4242);
+    sender.dsend(1, 2);
+    sender.halt();
+    m.setProgram(3, sender.finish());
+
+    Assembler receiver;
+    receiver.drecv(5);
+    receiver.sw(5, 0, 0);
+    receiver.halt();
+    m.setProgram(14, receiver.finish());
+
+    m.run();
+    EXPECT_EQ(m.peekLocal(14, 0, 1)[0], 4242u);
+}
+
+TEST(RawDynamicNetwork, ManyToOneGather)
+{
+    // Every tile dsends its id to tile 0, which sums 15 packets.
+    RawMachine m;
+    for (unsigned t = 1; t < 16; ++t) {
+        Assembler as;
+        as.li(1, 0);
+        as.li(2, static_cast<std::int32_t>(t));
+        as.dsend(1, 2);
+        as.halt();
+        m.setProgram(t, as.finish());
+    }
+    Assembler hub;
+    hub.li(1, 0);               // sum
+    hub.li(2, 15);              // packets expected
+    Label loop = hub.label();
+    hub.bind(loop);
+    hub.drecv(3);
+    hub.add(1, 1, 3);
+    hub.addi(2, 2, -1);
+    hub.bne(2, 0, loop);
+    hub.sw(1, 0, 0);
+    hub.halt();
+    m.setProgram(0, hub.finish());
+
+    m.run();
+    EXPECT_EQ(m.peekLocal(0, 0, 1)[0], 120u);   // 1+2+...+15
+}
+
+TEST(RawDynamicNetwork, HigherLatencyThanStaticNetwork)
+{
+    // Single-word delivery latency: the dynamic network pays packet
+    // assembly and routing (Section 2.3: messages carry a header).
+    auto oneWord = [](bool dynamic) {
+        RawMachine m;
+        if (!dynamic)
+            m.setRoute(0, 1);
+        Assembler src;
+        if (dynamic) {
+            src.li(1, 1);
+            src.li(2, 7);
+            src.dsend(1, 2);
+        } else {
+            src.li(regCsto, 7);
+        }
+        src.halt();
+        m.setProgram(0, src.finish());
+
+        Assembler dst;
+        if (dynamic)
+            dst.drecv(1);
+        else
+            dst.move(1, regCsti);
+        dst.sw(1, 0, 0);
+        dst.halt();
+        m.setProgram(1, dst.finish());
+        const Cycles cycles = m.run();
+        EXPECT_EQ(m.peekLocal(1, 0, 1)[0], 7u);
+        return cycles;
+    };
+    RawConfig cfg;
+    EXPECT_GE(oneWord(true),
+              oneWord(false) + cfg.dynBaseLatency
+                  - cfg.netBaseLatency);
+}
+
+TEST(RawDynamicNetwork, DsendToBadTileDies)
+{
+    EXPECT_DEATH(
+        {
+            RawMachine m;
+            Assembler as;
+            as.li(1, 99);
+            as.dsend(1, 1);
+            as.halt();
+            m.setProgram(0, as.finish());
+            m.run();
+        },
+        "dsend to bad tile");
+}
+
+TEST(RawDynamicNetwork, DisassemblesNewOps)
+{
+    Assembler as;
+    as.dsend(1, 2);
+    as.drecv(3);
+    as.halt();
+    auto prog = as.finish();
+    EXPECT_EQ(disassemble(prog[0]), "dsend r1 -> r2");
+    EXPECT_EQ(disassemble(prog[1]), "drecv r3");
+}
+
+} // namespace
+} // namespace triarch::raw
+
+// Re-opened for the debug trace facility.
+namespace triarch::raw
+{
+namespace
+{
+
+TEST(RawTrace, DebugLevelEmitsDisassembly)
+{
+    setLogLevel(LogLevel::Debug);
+    ::testing::internal::CaptureStderr();
+    {
+        RawMachine m;
+        Assembler as;
+        as.li(1, 5);
+        as.addi(2, 1, 3);
+        as.halt();
+        m.setProgram(0, as.finish());
+        m.run();
+    }
+    const std::string log = ::testing::internal::GetCapturedStderr();
+    setLogLevel(LogLevel::Inform);
+    EXPECT_NE(log.find("li r1, 5"), std::string::npos);
+    EXPECT_NE(log.find("addi r2, r1, 3"), std::string::npos);
+    EXPECT_NE(log.find("raw tile 0"), std::string::npos);
+}
+
+TEST(RawTrace, QuietByDefault)
+{
+    ::testing::internal::CaptureStderr();
+    {
+        RawMachine m;
+        Assembler as;
+        as.li(1, 5);
+        as.halt();
+        m.setProgram(0, as.finish());
+        m.run();
+    }
+    const std::string log = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(log.find("raw tile"), std::string::npos);
+}
+
+} // namespace
+} // namespace triarch::raw
+
+// Re-opened for the continuous-input load-balance study.
+namespace triarch::raw
+{
+namespace
+{
+
+TEST(RawKernels, ContinuousInputAmortizesImbalance)
+{
+    kernels::CslcConfig cfg;
+    cfg.subBands = 5;   // 5 sets on 16 tiles: terrible balance
+    cfg.samples = (cfg.subBands - 1) * cfg.subBandStride
+                  + cfg.subBandLen;
+    auto in = kernels::makeJammedInput(cfg, {120}, 41);
+    auto weights = kernels::estimateWeights(cfg, in);
+
+    kernels::CslcOutput out;
+    RawMachine one, many;
+    auto single = cslcRaw(one, cfg, in, weights, out, 1);
+    auto queued = cslcRaw(many, cfg, in, weights, out, 16);
+
+    // 16 intervals x 5 sets = 80 sets = exactly 5 per tile.
+    EXPECT_LT(queued.idleFraction, 0.02);
+    EXPECT_GT(single.idleFraction, 0.5);
+    // Per-interval cost approaches the balanced bound.
+    EXPECT_LE(queued.cycles / 16, single.balancedCycles
+                                      + single.balancedCycles / 10);
+    // Output still correct after repeated processing.
+    EXPECT_GT(kernels::cancellationDepthDb(cfg, in, out), 15.0);
+}
+
+} // namespace
+} // namespace triarch::raw
