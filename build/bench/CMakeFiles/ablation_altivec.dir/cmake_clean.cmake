@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_altivec.dir/ablation_altivec.cc.o"
+  "CMakeFiles/ablation_altivec.dir/ablation_altivec.cc.o.d"
+  "ablation_altivec"
+  "ablation_altivec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_altivec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

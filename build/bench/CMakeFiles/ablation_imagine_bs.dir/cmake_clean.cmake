@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_imagine_bs.dir/ablation_imagine_bs.cc.o"
+  "CMakeFiles/ablation_imagine_bs.dir/ablation_imagine_bs.cc.o.d"
+  "ablation_imagine_bs"
+  "ablation_imagine_bs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_imagine_bs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

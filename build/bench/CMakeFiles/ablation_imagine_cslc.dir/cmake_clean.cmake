@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_imagine_cslc.dir/ablation_imagine_cslc.cc.o"
+  "CMakeFiles/ablation_imagine_cslc.dir/ablation_imagine_cslc.cc.o.d"
+  "ablation_imagine_cslc"
+  "ablation_imagine_cslc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_imagine_cslc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

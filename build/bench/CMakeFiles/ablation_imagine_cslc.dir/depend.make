@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_imagine_cslc.
+# This may be replaced when dependencies are built.

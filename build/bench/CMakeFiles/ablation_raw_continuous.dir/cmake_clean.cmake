@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_raw_continuous.dir/ablation_raw_continuous.cc.o"
+  "CMakeFiles/ablation_raw_continuous.dir/ablation_raw_continuous.cc.o.d"
+  "ablation_raw_continuous"
+  "ablation_raw_continuous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_raw_continuous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_raw_fft.dir/ablation_raw_fft.cc.o"
+  "CMakeFiles/ablation_raw_fft.dir/ablation_raw_fft.cc.o.d"
+  "ablation_raw_fft"
+  "ablation_raw_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_raw_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_raw_stream.dir/ablation_raw_stream.cc.o"
+  "CMakeFiles/ablation_raw_stream.dir/ablation_raw_stream.cc.o.d"
+  "ablation_raw_stream"
+  "ablation_raw_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_raw_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_viram_capacity.dir/ablation_viram_capacity.cc.o"
+  "CMakeFiles/ablation_viram_capacity.dir/ablation_viram_capacity.cc.o.d"
+  "ablation_viram_capacity"
+  "ablation_viram_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_viram_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

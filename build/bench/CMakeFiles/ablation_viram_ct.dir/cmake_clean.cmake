@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_viram_ct.dir/ablation_viram_ct.cc.o"
+  "CMakeFiles/ablation_viram_ct.dir/ablation_viram_ct.cc.o.d"
+  "ablation_viram_ct"
+  "ablation_viram_ct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_viram_ct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig123_block_diagrams.dir/fig123_block_diagrams.cc.o"
+  "CMakeFiles/fig123_block_diagrams.dir/fig123_block_diagrams.cc.o.d"
+  "fig123_block_diagrams"
+  "fig123_block_diagrams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig123_block_diagrams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

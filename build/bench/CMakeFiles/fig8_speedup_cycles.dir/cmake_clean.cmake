@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_speedup_cycles.dir/fig8_speedup_cycles.cc.o"
+  "CMakeFiles/fig8_speedup_cycles.dir/fig8_speedup_cycles.cc.o.d"
+  "fig8_speedup_cycles"
+  "fig8_speedup_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_speedup_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

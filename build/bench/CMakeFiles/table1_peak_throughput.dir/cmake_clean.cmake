@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_peak_throughput.dir/table1_peak_throughput.cc.o"
+  "CMakeFiles/table1_peak_throughput.dir/table1_peak_throughput.cc.o.d"
+  "table1_peak_throughput"
+  "table1_peak_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_peak_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_processor_params.dir/table2_processor_params.cc.o"
+  "CMakeFiles/table2_processor_params.dir/table2_processor_params.cc.o.d"
+  "table2_processor_params"
+  "table2_processor_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_processor_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_kernel_cycles.dir/table3_kernel_cycles.cc.o"
+  "CMakeFiles/table3_kernel_cycles.dir/table3_kernel_cycles.cc.o.d"
+  "table3_kernel_cycles"
+  "table3_kernel_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_kernel_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

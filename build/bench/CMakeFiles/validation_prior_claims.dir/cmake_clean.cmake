@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_prior_claims.dir/validation_prior_claims.cc.o"
+  "CMakeFiles/validation_prior_claims.dir/validation_prior_claims.cc.o.d"
+  "validation_prior_claims"
+  "validation_prior_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_prior_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

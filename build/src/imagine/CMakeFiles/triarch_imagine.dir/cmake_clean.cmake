@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triarch_imagine.dir/kernels_imagine.cc.o"
+  "CMakeFiles/triarch_imagine.dir/kernels_imagine.cc.o.d"
+  "CMakeFiles/triarch_imagine.dir/machine.cc.o"
+  "CMakeFiles/triarch_imagine.dir/machine.cc.o.d"
+  "CMakeFiles/triarch_imagine.dir/srf.cc.o"
+  "CMakeFiles/triarch_imagine.dir/srf.cc.o.d"
+  "libtriarch_imagine.a"
+  "libtriarch_imagine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triarch_imagine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

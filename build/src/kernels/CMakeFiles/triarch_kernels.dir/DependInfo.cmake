@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/beam_steering.cc" "src/kernels/CMakeFiles/triarch_kernels.dir/beam_steering.cc.o" "gcc" "src/kernels/CMakeFiles/triarch_kernels.dir/beam_steering.cc.o.d"
+  "/root/repo/src/kernels/corner_turn.cc" "src/kernels/CMakeFiles/triarch_kernels.dir/corner_turn.cc.o" "gcc" "src/kernels/CMakeFiles/triarch_kernels.dir/corner_turn.cc.o.d"
+  "/root/repo/src/kernels/cslc.cc" "src/kernels/CMakeFiles/triarch_kernels.dir/cslc.cc.o" "gcc" "src/kernels/CMakeFiles/triarch_kernels.dir/cslc.cc.o.d"
+  "/root/repo/src/kernels/fft.cc" "src/kernels/CMakeFiles/triarch_kernels.dir/fft.cc.o" "gcc" "src/kernels/CMakeFiles/triarch_kernels.dir/fft.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/triarch_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triarch_kernels.dir/beam_steering.cc.o"
+  "CMakeFiles/triarch_kernels.dir/beam_steering.cc.o.d"
+  "CMakeFiles/triarch_kernels.dir/corner_turn.cc.o"
+  "CMakeFiles/triarch_kernels.dir/corner_turn.cc.o.d"
+  "CMakeFiles/triarch_kernels.dir/cslc.cc.o"
+  "CMakeFiles/triarch_kernels.dir/cslc.cc.o.d"
+  "CMakeFiles/triarch_kernels.dir/fft.cc.o"
+  "CMakeFiles/triarch_kernels.dir/fft.cc.o.d"
+  "libtriarch_kernels.a"
+  "libtriarch_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triarch_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

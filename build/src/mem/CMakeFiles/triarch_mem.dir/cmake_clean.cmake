@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triarch_mem.dir/cache.cc.o"
+  "CMakeFiles/triarch_mem.dir/cache.cc.o.d"
+  "CMakeFiles/triarch_mem.dir/dram.cc.o"
+  "CMakeFiles/triarch_mem.dir/dram.cc.o.d"
+  "libtriarch_mem.a"
+  "libtriarch_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triarch_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtriarch_mem.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for triarch_mem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triarch_ppc.dir/kernels_ppc.cc.o"
+  "CMakeFiles/triarch_ppc.dir/kernels_ppc.cc.o.d"
+  "CMakeFiles/triarch_ppc.dir/machine.cc.o"
+  "CMakeFiles/triarch_ppc.dir/machine.cc.o.d"
+  "libtriarch_ppc.a"
+  "libtriarch_ppc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triarch_ppc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

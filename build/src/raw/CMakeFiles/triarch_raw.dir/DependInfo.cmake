@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raw/assembler.cc" "src/raw/CMakeFiles/triarch_raw.dir/assembler.cc.o" "gcc" "src/raw/CMakeFiles/triarch_raw.dir/assembler.cc.o.d"
+  "/root/repo/src/raw/kernels_raw.cc" "src/raw/CMakeFiles/triarch_raw.dir/kernels_raw.cc.o" "gcc" "src/raw/CMakeFiles/triarch_raw.dir/kernels_raw.cc.o.d"
+  "/root/repo/src/raw/machine.cc" "src/raw/CMakeFiles/triarch_raw.dir/machine.cc.o" "gcc" "src/raw/CMakeFiles/triarch_raw.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/triarch_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/triarch_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/triarch_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triarch_raw.dir/assembler.cc.o"
+  "CMakeFiles/triarch_raw.dir/assembler.cc.o.d"
+  "CMakeFiles/triarch_raw.dir/kernels_raw.cc.o"
+  "CMakeFiles/triarch_raw.dir/kernels_raw.cc.o.d"
+  "CMakeFiles/triarch_raw.dir/machine.cc.o"
+  "CMakeFiles/triarch_raw.dir/machine.cc.o.d"
+  "libtriarch_raw.a"
+  "libtriarch_raw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triarch_raw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triarch_sim.dir/logging.cc.o"
+  "CMakeFiles/triarch_sim.dir/logging.cc.o.d"
+  "CMakeFiles/triarch_sim.dir/stats.cc.o"
+  "CMakeFiles/triarch_sim.dir/stats.cc.o.d"
+  "CMakeFiles/triarch_sim.dir/table.cc.o"
+  "CMakeFiles/triarch_sim.dir/table.cc.o.d"
+  "libtriarch_sim.a"
+  "libtriarch_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triarch_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

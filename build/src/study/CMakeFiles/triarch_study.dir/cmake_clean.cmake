@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triarch_study.dir/experiment.cc.o"
+  "CMakeFiles/triarch_study.dir/experiment.cc.o.d"
+  "CMakeFiles/triarch_study.dir/machine_info.cc.o"
+  "CMakeFiles/triarch_study.dir/machine_info.cc.o.d"
+  "CMakeFiles/triarch_study.dir/perf_model.cc.o"
+  "CMakeFiles/triarch_study.dir/perf_model.cc.o.d"
+  "CMakeFiles/triarch_study.dir/report.cc.o"
+  "CMakeFiles/triarch_study.dir/report.cc.o.d"
+  "libtriarch_study.a"
+  "libtriarch_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triarch_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

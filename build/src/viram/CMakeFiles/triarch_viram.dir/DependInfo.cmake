@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viram/kernels_viram.cc" "src/viram/CMakeFiles/triarch_viram.dir/kernels_viram.cc.o" "gcc" "src/viram/CMakeFiles/triarch_viram.dir/kernels_viram.cc.o.d"
+  "/root/repo/src/viram/machine.cc" "src/viram/CMakeFiles/triarch_viram.dir/machine.cc.o" "gcc" "src/viram/CMakeFiles/triarch_viram.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/triarch_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/triarch_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/triarch_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

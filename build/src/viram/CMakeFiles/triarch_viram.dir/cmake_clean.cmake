@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triarch_viram.dir/kernels_viram.cc.o"
+  "CMakeFiles/triarch_viram.dir/kernels_viram.cc.o.d"
+  "CMakeFiles/triarch_viram.dir/machine.cc.o"
+  "CMakeFiles/triarch_viram.dir/machine.cc.o.d"
+  "libtriarch_viram.a"
+  "libtriarch_viram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triarch_viram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_imagine.dir/test_imagine.cc.o"
+  "CMakeFiles/test_imagine.dir/test_imagine.cc.o.d"
+  "test_imagine"
+  "test_imagine.pdb"
+  "test_imagine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_imagine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ppc.cc" "tests/CMakeFiles/test_ppc.dir/test_ppc.cc.o" "gcc" "tests/CMakeFiles/test_ppc.dir/test_ppc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ppc/CMakeFiles/triarch_ppc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/triarch_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/triarch_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/triarch_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

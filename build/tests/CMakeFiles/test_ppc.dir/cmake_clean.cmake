@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppc.dir/test_ppc.cc.o"
+  "CMakeFiles/test_ppc.dir/test_ppc.cc.o.d"
+  "test_ppc"
+  "test_ppc.pdb"
+  "test_ppc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raw.dir/test_raw.cc.o"
+  "CMakeFiles/test_raw.dir/test_raw.cc.o.d"
+  "test_raw"
+  "test_raw.pdb"
+  "test_raw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

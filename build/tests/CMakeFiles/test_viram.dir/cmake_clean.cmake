@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_viram.dir/test_viram.cc.o"
+  "CMakeFiles/test_viram.dir/test_viram.cc.o.d"
+  "test_viram"
+  "test_viram.pdb"
+  "test_viram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_viram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

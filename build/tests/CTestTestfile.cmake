@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_viram[1]_include.cmake")
+include("/root/repo/build/tests/test_imagine[1]_include.cmake")
+include("/root/repo/build/tests/test_raw[1]_include.cmake")
+include("/root/repo/build/tests/test_ppc[1]_include.cmake")
+include("/root/repo/build/tests/test_study[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_edges[1]_include.cmake")
