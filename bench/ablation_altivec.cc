@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "ppc/kernels_ppc.hh"
 #include "sim/table.hh"
 
@@ -14,15 +15,20 @@ using namespace triarch;
 using namespace triarch::ppc;
 using namespace triarch::kernels;
 
-int
-main()
+namespace
 {
+
+int
+run(bench::BenchContext &ctx)
+{
+    const study::StudyConfig &cfg = ctx.config();
+
     Table t("AltiVec gain over scalar PPC G4 (Section 4.5)");
     t.header({"Kernel", "Scalar (10^3)", "AltiVec (10^3)", "Gain",
               "Paper gain"});
 
     {
-        WordMatrix src(1024, 1024);
+        WordMatrix src(cfg.matrixSize, cfg.matrixSize);
         fillMatrix(src, 1);
         WordMatrix dst;
         PpcMachine ms, mv;
@@ -34,24 +40,24 @@ main()
                "1.17 (\"not significant\")"});
     }
     {
-        CslcConfig cfg;
-        auto in = makeJammedInput(cfg, {300, 1700, 4090}, 11);
-        auto w = estimateWeights(cfg, in);
+        auto in = makeJammedInput(cfg.cslc, cfg.jammerBins, cfg.seed);
+        auto w = estimateWeights(cfg.cslc, in);
         CslcOutput out;
         PpcMachine ms, mv;
-        const Cycles s = cslcPpc(ms, cfg, in, w, out, false);
-        const Cycles v = cslcPpc(mv, cfg, in, w, out, true);
+        const Cycles s = cslcPpc(ms, cfg.cslc, in, w, out, false);
+        const Cycles v = cslcPpc(mv, cfg.cslc, in, w, out, true);
         t.row({"CSLC", Table::num(s / 1000), Table::num(v / 1000),
                Table::num(static_cast<double>(s) / v, 2),
                "5.88 (\"about six\")"});
     }
     {
-        BeamConfig cfg;
-        auto tables = makeBeamTables(cfg, 2);
+        auto tables = makeBeamTables(cfg.beam, 2);
         std::vector<std::int32_t> out;
         PpcMachine ms, mv;
-        const Cycles s = beamSteeringPpc(ms, cfg, tables, out, false);
-        const Cycles v = beamSteeringPpc(mv, cfg, tables, out, true);
+        const Cycles s =
+            beamSteeringPpc(ms, cfg.beam, tables, out, false);
+        const Cycles v =
+            beamSteeringPpc(mv, cfg.beam, tables, out, true);
         t.row({"Beam Steering", Table::num(s / 1000),
                Table::num(v / 1000),
                Table::num(static_cast<double>(s) / v, 2),
@@ -65,3 +71,7 @@ main()
                  "scheduling pay off fully (Section 4.5).\n";
     return 0;
 }
+
+} // namespace
+
+TRIARCH_BENCH_MAIN("ablation: AltiVec gain over scalar PPC G4", run)

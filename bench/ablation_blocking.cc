@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "ppc/kernels_ppc.hh"
 #include "sim/logging.hh"
 #include "sim/table.hh"
@@ -16,10 +17,14 @@
 using namespace triarch;
 using namespace triarch::kernels;
 
-int
-main()
+namespace
 {
-    WordMatrix src(1024, 1024);
+
+int
+run(bench::BenchContext &ctx)
+{
+    const unsigned n = ctx.config().matrixSize;
+    WordMatrix src(n, n);
     fillMatrix(src, 1);
     WordMatrix dst;
 
@@ -59,3 +64,7 @@ main()
                  "the G4 stays memory-bound.\n";
     return 0;
 }
+
+} // namespace
+
+TRIARCH_BENCH_MAIN("ablation: corner-turn blocking choices", run)

@@ -14,16 +14,19 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "study/report.hh"
 
 using namespace triarch;
 using namespace triarch::study;
 
-int
-main()
+namespace
 {
-    Runner runner;
-    auto results = runner.runAll();
+
+int
+run(bench::BenchContext &ctx)
+{
+    const auto &results = ctx.allResults();
 
     Table t("Energy per kernel invocation (millijoules; extension)");
     std::vector<std::string> head = {""};
@@ -77,3 +80,7 @@ main()
            "shrink\nonce its 16-tile power is charged.\n";
     return 0;
 }
+
+} // namespace
+
+TRIARCH_BENCH_MAIN("extension: energy per kernel invocation", run)

@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "imagine/kernels_imagine.hh"
 #include "sim/bitutil.hh"
 #include "sim/logging.hh"
@@ -104,12 +105,10 @@ beamSteeringSrfResident(ImagineMachine &machine, const BeamConfig &cfg,
     return cycles;
 }
 
-} // namespace
-
 int
-main()
+run(triarch::bench::BenchContext &ctx)
 {
-    BeamConfig cfg;
+    const BeamConfig &cfg = ctx.config().beam;
     auto tables = makeBeamTables(cfg, 13);
     auto ref = beamSteerReference(cfg, tables);
 
@@ -144,3 +143,8 @@ main()
                  "(Section 4.4).\n";
     return 0;
 }
+
+} // namespace
+
+TRIARCH_BENCH_MAIN("ablation: Imagine beam-steering table placement",
+                   run)

@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "imagine/kernels_imagine.hh"
 #include "sim/logging.hh"
 #include "sim/table.hh"
@@ -37,13 +38,12 @@ runWith(const ImagineConfig &cfg, const CslcConfig &ccfg,
     return {cycles, machine.aluUtilization()};
 }
 
-} // namespace
-
 int
-main()
+run(triarch::bench::BenchContext &ctx)
 {
-    CslcConfig ccfg;
-    auto in = makeJammedInput(ccfg, {300, 1700, 4090}, 11);
+    const CslcConfig &ccfg = ctx.config().cslc;
+    auto in = makeJammedInput(ccfg, ctx.config().jammerBins,
+                              ctx.config().seed);
     auto weights = estimateWeights(ccfg, in);
 
     const ImagineConfig baseline;
@@ -93,3 +93,8 @@ main()
                  "excluding the divider.\n";
     return 0;
 }
+
+} // namespace
+
+TRIARCH_BENCH_MAIN("ablation: Imagine CSLC inter-cluster communication",
+                   run)

@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "raw/kernels_raw.hh"
 #include "sim/logging.hh"
 #include "sim/table.hh"
@@ -19,11 +20,15 @@ using namespace triarch;
 using namespace triarch::raw;
 using namespace triarch::kernels;
 
-int
-main()
+namespace
 {
-    CslcConfig cfg;
-    auto in = makeJammedInput(cfg, {300, 1700, 4090}, 11);
+
+int
+run(triarch::bench::BenchContext &ctx)
+{
+    const CslcConfig &cfg = ctx.config().cslc;
+    auto in = makeJammedInput(cfg, ctx.config().jammerBins,
+                              ctx.config().seed);
     auto weights = estimateWeights(cfg, in);
 
     Table t("Raw CSLC under continuous input (Section 4.3)");
@@ -57,3 +62,7 @@ main()
                  "rather than assumed.\n";
     return 0;
 }
+
+} // namespace
+
+TRIARCH_BENCH_MAIN("ablation: Raw CSLC under continuous input", run)

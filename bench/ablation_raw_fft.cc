@@ -13,6 +13,7 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "kernels/fft.hh"
 #include "raw/kernels_raw.hh"
 #include "sim/table.hh"
@@ -21,8 +22,11 @@ using namespace triarch;
 using namespace triarch::raw;
 using namespace triarch::kernels;
 
+namespace
+{
+
 int
-main()
+run(triarch::bench::BenchContext &ctx)
 {
     // Part 1: radix trade-off.
     const FftOps r2 = radix2Ops(128);
@@ -54,11 +58,12 @@ main()
     balance.header({"Sub-bands", "Measured (10^3)", "Balanced (10^3)",
                     "Idle fraction"});
     for (unsigned subBands : {64u, 73u, 80u}) {
-        CslcConfig cfg;
+        CslcConfig cfg = ctx.config().cslc;
         cfg.subBands = subBands;
         cfg.samples =
             (cfg.subBands - 1) * cfg.subBandStride + cfg.subBandLen;
-        auto in = makeJammedInput(cfg, {300, 1700}, 11);
+        auto in =
+            makeJammedInput(cfg, {300, 1700}, ctx.config().seed);
         auto weights = estimateWeights(cfg, in);
 
         RawMachine machine;
@@ -77,3 +82,8 @@ main()
                  "the paper.\n";
     return 0;
 }
+
+} // namespace
+
+TRIARCH_BENCH_MAIN("ablation: Raw CSLC radix choice and load balance",
+                   run)

@@ -15,6 +15,7 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "raw/kernels_raw.hh"
 #include "sim/logging.hh"
 #include "sim/table.hh"
@@ -23,11 +24,15 @@ using namespace triarch;
 using namespace triarch::raw;
 using namespace triarch::kernels;
 
-int
-main()
+namespace
 {
-    CslcConfig cfg;
-    auto in = makeJammedInput(cfg, {300, 1700, 4090}, 11);
+
+int
+run(triarch::bench::BenchContext &ctx)
+{
+    const CslcConfig &cfg = ctx.config().cslc;
+    auto in = makeJammedInput(cfg, ctx.config().jammerBins,
+                              ctx.config().seed);
     auto weights = estimateWeights(cfg, in);
 
     RawMachine cached;
@@ -77,3 +82,8 @@ main()
            "reflects removing the global-memory traffic only.\n";
     return 0;
 }
+
+} // namespace
+
+TRIARCH_BENCH_MAIN("ablation: Raw CSLC cached MIMD vs stream mode",
+                   run)

@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "raw/kernels_raw.hh"
 #include "sim/logging.hh"
 #include "sim/table.hh"
@@ -18,8 +19,11 @@
 using namespace triarch;
 using namespace triarch::kernels;
 
+namespace
+{
+
 int
-main()
+run(triarch::bench::BenchContext &)
 {
     Table t("Corner-turn cycles per word vs matrix size "
             "(VIRAM capacity cliff, Section 4.6)");
@@ -63,3 +67,7 @@ main()
            "its cycles/word stays flat (Section 4.6).\n";
     return 0;
 }
+
+} // namespace
+
+TRIARCH_BENCH_MAIN("ablation: VIRAM on-chip capacity cliff", run)

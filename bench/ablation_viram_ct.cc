@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "sim/logging.hh"
 #include "sim/table.hh"
 #include "viram/kernels_viram.hh"
@@ -30,12 +31,11 @@ runWith(const ViramConfig &cfg, const kernels::WordMatrix &src)
     return cycles;
 }
 
-} // namespace
-
 int
-main()
+run(bench::BenchContext &ctx)
 {
-    kernels::WordMatrix src(1024, 1024);
+    const unsigned n = ctx.config().matrixSize;
+    kernels::WordMatrix src(n, n);
     kernels::fillMatrix(src, 1);
 
     const ViramConfig baseline;
@@ -68,3 +68,8 @@ main()
                  "is about half the peak-bandwidth expectation.\n";
     return 0;
 }
+
+} // namespace
+
+TRIARCH_BENCH_MAIN("ablation: VIRAM corner-turn overhead decomposition",
+                   run)

@@ -1,0 +1,241 @@
+#include "bench_main.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "study/registry.hh"
+
+namespace triarch::bench
+{
+
+namespace
+{
+
+using study::KernelId;
+using study::MachineId;
+
+/** Split "a,b,c" into tokens. */
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> tokens;
+    std::istringstream is(arg);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+        if (!tok.empty())
+            tokens.push_back(tok);
+    }
+    return tokens;
+}
+
+std::string
+lowered(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+bool
+parseMachine(const std::string &tok, MachineId &out)
+{
+    const std::string t = lowered(tok);
+    for (MachineId id : study::allMachines()) {
+        if (t == study::machineToken(id)
+            || t == lowered(study::machineName(id))) {
+            out = id;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseKernel(const std::string &tok, KernelId &out)
+{
+    const std::string t = lowered(tok);
+    for (KernelId id : study::allKernels()) {
+        std::string name = lowered(study::kernelName(id));
+        std::erase(name, ' ');
+        if (t == study::kernelToken(id) || t == name) {
+            out = id;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+usage(std::ostream &os, const char *prog, const char *description)
+{
+    os << prog << " — " << description << "\n\n"
+       << "Options:\n"
+          "  --machines a,b,...  platforms to run "
+          "(ppc, altivec, viram, imagine, raw; default all)\n"
+          "  --kernels a,b,...   kernels to run "
+          "(ct, cslc, bs; default all)\n"
+          "  --threads N         worker threads "
+          "(default 0 = hardware concurrency)\n"
+          "  --seed N            workload synthesis seed "
+          "(default 11)\n"
+          "  --json PATH         write structured results JSON\n"
+          "  --csv               machine-readable table output "
+          "where supported\n"
+          "  --help              this message\n";
+}
+
+} // namespace
+
+BenchContext::BenchContext(BenchOptions run_options)
+    : opts(std::move(run_options))
+{
+    if (opts.machines.empty())
+        opts.machines = study::allMachines();
+    if (opts.kernels.empty())
+        opts.kernels = study::allKernels();
+    cfg.seed = opts.seed;
+}
+
+BenchContext::~BenchContext() = default;
+
+study::ParallelRunner &
+BenchContext::runner()
+{
+    if (!par) {
+        par = std::make_unique<study::ParallelRunner>(cfg,
+                                                      opts.threads);
+    }
+    return *par;
+}
+
+std::vector<study::Cell>
+BenchContext::selectedCells() const
+{
+    std::vector<study::Cell> cells;
+    cells.reserve(opts.machines.size() * opts.kernels.size());
+    for (MachineId machine : opts.machines) {
+        for (KernelId kernel : opts.kernels)
+            cells.push_back({machine, kernel});
+    }
+    return cells;
+}
+
+const std::vector<study::RunResult> &
+BenchContext::results()
+{
+    if (!haveResults) {
+        cellResults = runner().runCells(selectedCells());
+        sink().add(cellResults);
+        haveResults = true;
+    }
+    return cellResults;
+}
+
+const std::vector<study::RunResult> &
+BenchContext::allResults()
+{
+    if (!haveGrid) {
+        gridResults = runner().runAll();
+        sink().add(gridResults);
+        haveGrid = true;
+    }
+    return gridResults;
+}
+
+study::ResultSink &
+BenchContext::sink()
+{
+    if (!out)
+        out = std::make_unique<study::ResultSink>(cfg);
+    return *out;
+}
+
+int
+benchMain(int argc, char **argv, const char *description,
+          BenchBody body)
+{
+    BenchOptions opts;
+    const char *prog = argc > 0 ? argv[0] : "bench";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto needValue = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << prog << ": " << flag
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+
+        auto needNumber = [&](const char *flag) -> std::uint64_t {
+            const std::string v = needValue(flag);
+            char *end = nullptr;
+            const std::uint64_t n = std::strtoull(v.c_str(), &end, 10);
+            if (end == v.c_str() || *end != '\0') {
+                std::cerr << prog << ": " << flag
+                          << " needs a number, got '" << v << "'\n";
+                std::exit(2);
+            }
+            return n;
+        };
+
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout, prog, description);
+            return 0;
+        } else if (arg == "--machines") {
+            for (const std::string &tok :
+                 splitList(needValue("--machines"))) {
+                MachineId id;
+                if (!parseMachine(tok, id)) {
+                    std::cerr << prog << ": unknown machine '" << tok
+                              << "'\n";
+                    return 2;
+                }
+                opts.machines.push_back(id);
+            }
+        } else if (arg == "--kernels") {
+            for (const std::string &tok :
+                 splitList(needValue("--kernels"))) {
+                KernelId id;
+                if (!parseKernel(tok, id)) {
+                    std::cerr << prog << ": unknown kernel '" << tok
+                              << "'\n";
+                    return 2;
+                }
+                opts.kernels.push_back(id);
+            }
+        } else if (arg == "--threads") {
+            opts.threads =
+                static_cast<unsigned>(needNumber("--threads"));
+        } else if (arg == "--seed") {
+            opts.seed = needNumber("--seed");
+        } else if (arg == "--json") {
+            opts.jsonPath = needValue("--json");
+        } else if (arg == "--csv") {
+            opts.csv = true;
+        } else {
+            std::cerr << prog << ": unknown option '" << arg
+                      << "'\n\n";
+            usage(std::cerr, prog, description);
+            return 2;
+        }
+    }
+
+    BenchContext ctx(opts);
+    const int rc = body(ctx);
+
+    if (rc == 0 && !opts.jsonPath.empty()) {
+        ctx.sink().metadata("bench", prog);
+        ctx.sink().metadata("threads",
+                            std::to_string(opts.threads));
+        ctx.sink().writeJsonFile(opts.jsonPath);
+        std::cout << "\nresults written to " << opts.jsonPath << "\n";
+    }
+    return rc;
+}
+
+} // namespace triarch::bench

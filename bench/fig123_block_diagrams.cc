@@ -7,13 +7,17 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "imagine/machine.hh"
 #include "ppc/machine.hh"
 #include "raw/machine.hh"
 #include "viram/machine.hh"
 
+namespace
+{
+
 int
-main()
+run(triarch::bench::BenchContext &)
 {
     std::cout << "Figure 1.\n"
               << triarch::viram::ViramMachine().describe() << "\n";
@@ -25,3 +29,7 @@ main()
               << triarch::ppc::PpcMachine().describe();
     return 0;
 }
+
+} // namespace
+
+TRIARCH_BENCH_MAIN("Figures 1-3: machine block diagrams", run)

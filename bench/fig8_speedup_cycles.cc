@@ -6,16 +6,18 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "study/report.hh"
 
 using namespace triarch::study;
 
-int
-main()
+namespace
 {
-    Runner runner;
-    auto results = runner.runAll();
-    buildFigure8(results).render(std::cout);
+
+int
+run(triarch::bench::BenchContext &ctx)
+{
+    buildFigure8(ctx.allResults()).render(std::cout);
 
     std::cout << "\nPaper values for comparison (speedup in cycles "
                  "vs Altivec):\n"
@@ -24,3 +26,7 @@ main()
                  "  beam steer:  VIRAM 10.4, Imagine  4.2, Raw 19.2\n";
     return 0;
 }
+
+} // namespace
+
+TRIARCH_BENCH_MAIN("Figure 8: speedup vs PPC+AltiVec in cycles", run)

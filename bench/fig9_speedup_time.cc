@@ -7,16 +7,18 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "study/report.hh"
 
 using namespace triarch::study;
 
-int
-main()
+namespace
 {
-    Runner runner;
-    auto results = runner.runAll();
-    buildFigure9(results).render(std::cout);
+
+int
+run(triarch::bench::BenchContext &ctx)
+{
+    buildFigure9(ctx.allResults()).render(std::cout);
 
     std::cout << "\nPaper values for comparison (speedup in time "
                  "vs Altivec):\n"
@@ -25,3 +27,7 @@ main()
                  "  beam steer:  VIRAM  2.1, Imagine  1.3, Raw  5.7\n";
     return 0;
 }
+
+} // namespace
+
+TRIARCH_BENCH_MAIN("Figure 9: speedup vs PPC+AltiVec in time", run)

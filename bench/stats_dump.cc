@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "imagine/kernels_imagine.hh"
 #include "ppc/kernels_ppc.hh"
 #include "raw/kernels_raw.hh"
@@ -17,12 +18,17 @@
 using namespace triarch;
 using namespace triarch::kernels;
 
-int
-main()
+namespace
 {
+
+int
+run(bench::BenchContext &ctx)
+{
+    const study::StudyConfig &cfg = ctx.config();
     {
-        std::cout << "==== VIRAM, corner turn 1024x1024 ====\n";
-        WordMatrix src(1024, 1024);
+        std::cout << "==== VIRAM, corner turn " << cfg.matrixSize << "x"
+                  << cfg.matrixSize << " ====\n";
+        WordMatrix src(cfg.matrixSize, cfg.matrixSize);
         fillMatrix(src, 1);
         WordMatrix dst;
         viram::ViramMachine m;
@@ -31,25 +37,24 @@ main()
         m.statGroup().dump(std::cout);
     }
     {
-        std::cout << "\n==== Imagine, CSLC (73 sub-bands) ====\n";
-        CslcConfig cfg;
-        auto in = makeJammedInput(cfg, {300, 1700, 4090}, 11);
-        auto w = estimateWeights(cfg, in);
+        std::cout << "\n==== Imagine, CSLC (" << cfg.cslc.subBands
+                  << " sub-bands) ====\n";
+        auto in = makeJammedInput(cfg.cslc, cfg.jammerBins, cfg.seed);
+        auto w = estimateWeights(cfg.cslc, in);
         CslcOutput out;
         imagine::ImagineMachine m;
-        const Cycles c = imagine::cslcImagine(m, cfg, in, w, out);
+        const Cycles c = imagine::cslcImagine(m, cfg.cslc, in, w, out);
         std::cout << "imagine.cycles " << c << "\n";
         m.statGroup().dump(std::cout);
     }
     {
-        std::cout << "\n==== Raw, CSLC (73 sub-bands, cached MIMD) "
-                     "====\n";
-        CslcConfig cfg;
-        auto in = makeJammedInput(cfg, {300, 1700, 4090}, 11);
-        auto w = estimateWeights(cfg, in);
+        std::cout << "\n==== Raw, CSLC (" << cfg.cslc.subBands
+                  << " sub-bands, cached MIMD) ====\n";
+        auto in = makeJammedInput(cfg.cslc, cfg.jammerBins, cfg.seed);
+        auto w = estimateWeights(cfg.cslc, in);
         CslcOutput out;
         raw::RawMachine m;
-        auto r = raw::cslcRaw(m, cfg, in, w, out);
+        auto r = raw::cslcRaw(m, cfg.cslc, in, w, out);
         std::cout << "raw.cycles " << r.cycles
                   << "\nraw.balanced_cycles " << r.balancedCycles
                   << "\n";
@@ -61,14 +66,19 @@ main()
     }
     {
         std::cout << "\n==== PPC G4 + AltiVec, beam steering ====\n";
-        BeamConfig cfg;
-        auto tables = makeBeamTables(cfg, 2);
+        auto tables = makeBeamTables(cfg.beam, 2);
         std::vector<std::int32_t> out;
         ppc::PpcMachine m;
         const Cycles c =
-            ppc::beamSteeringPpc(m, cfg, tables, out, true);
+            ppc::beamSteeringPpc(m, cfg.beam, tables, out, true);
         std::cout << "ppc.cycles " << c << "\n";
         m.statGroup().dump(std::cout);
     }
     return 0;
 }
+
+} // namespace
+
+TRIARCH_BENCH_MAIN("statistics dump: every counter on representative "
+                   "kernels",
+                   run)

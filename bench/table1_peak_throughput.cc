@@ -7,15 +7,28 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "study/report.hh"
 
-int
-main()
+namespace
 {
-    triarch::study::buildTable1().render(std::cout);
+
+int
+run(triarch::bench::BenchContext &ctx)
+{
+    auto table = triarch::study::buildTable1();
+    if (ctx.options().csv) {
+        table.renderCsv(std::cout);
+        return 0;
+    }
+    table.render(std::cout);
     std::cout << "\nNote: memory bandwidth is a property of each "
                  "implementation, not of the\narchitecture itself; "
                  "VIRAM's \"nearest DRAM\" is on-chip, Imagine's and "
                  "Raw's\nare off-chip (Section 2.5 of the paper).\n";
     return 0;
 }
+
+} // namespace
+
+TRIARCH_BENCH_MAIN("Table 1: peak throughput in words per cycle", run)

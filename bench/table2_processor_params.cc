@@ -6,14 +6,27 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "study/report.hh"
 
-int
-main()
+namespace
 {
-    triarch::study::buildTable2().render(std::cout);
+
+int
+run(triarch::bench::BenchContext &ctx)
+{
+    auto table = triarch::study::buildTable2();
+    if (ctx.options().csv) {
+        table.renderCsv(std::cout);
+        return 0;
+    }
+    table.render(std::cout);
     std::cout << "\nNote: the PowerPC G4 is a custom-logic commercial "
                  "part; the research chips\nare standard-cell "
                  "prototypes built by small teams (Section 4.1).\n";
     return 0;
 }
+
+} // namespace
+
+TRIARCH_BENCH_MAIN("Table 2: processor parameters", run)

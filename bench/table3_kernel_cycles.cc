@@ -7,9 +7,10 @@
  * values against the paper's for every cell.
  */
 
+#include <algorithm>
 #include <iostream>
-#include <string>
 
+#include "bench_main.hh"
 #include "study/report.hh"
 
 using namespace triarch;
@@ -32,18 +33,13 @@ paperKcycles(MachineId machine, KernelId kernel)
                 [static_cast<unsigned>(kernel)];
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(bench::BenchContext &ctx)
 {
-    Runner runner;
-    auto results = runner.runAll();
+    const auto &results = ctx.allResults();
 
-    // `table3_kernel_cycles csv` emits machine-readable output for
-    // plotting scripts.
-    const bool csv = argc > 1 && std::string(argv[1]) == "csv";
-    if (csv) {
+    // --csv emits machine-readable output for plotting scripts.
+    if (ctx.options().csv) {
         buildTable3(results).renderCsv(std::cout);
         return 0;
     }
@@ -53,8 +49,8 @@ main(int argc, char **argv)
     Table cmp("Measured vs paper (cycles in 10^3)");
     cmp.header({"Machine", "Kernel", "Paper", "Measured",
                 "Measured/Paper"});
-    for (MachineId machine : allMachines()) {
-        for (KernelId kernel : allKernels()) {
+    for (MachineId machine : ctx.options().machines) {
+        for (KernelId kernel : ctx.options().kernels) {
             const auto &r = findResult(results, machine, kernel);
             const double paper = paperKcycles(machine, kernel);
             const double measured =
@@ -67,16 +63,24 @@ main(int argc, char **argv)
     std::cout << "\n";
     cmp.render(std::cout);
 
-    const auto &rawCslc =
-        findResult(results, MachineId::Raw, KernelId::Cslc);
-    if (rawCslc.measuredUnbalanced) {
+    const auto rawCslcCell = std::find_if(
+        results.begin(), results.end(), [](const RunResult &r) {
+            return r.machine == MachineId::Raw
+                   && r.kernel == KernelId::Cslc;
+        });
+    if (rawCslcCell != results.end()
+        && rawCslcCell->measuredUnbalanced) {
         std::cout << "\nRaw CSLC: measured "
-                  << Table::num(*rawCslc.measuredUnbalanced / 1000)
+                  << Table::num(*rawCslcCell->measuredUnbalanced / 1000)
                   << "k cycles with the 73-on-16 imbalance; Table 3 "
                      "reports the paper's\nperfect-load-balance "
                      "extrapolation of "
-                  << Table::num(rawCslc.cycles / 1000)
+                  << Table::num(rawCslcCell->cycles / 1000)
                   << "k (Section 4.3).\n";
     }
     return 0;
 }
+
+} // namespace
+
+TRIARCH_BENCH_MAIN("Table 3: measured kernel cycles vs the paper", run)

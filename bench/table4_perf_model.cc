@@ -7,16 +7,23 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "study/report.hh"
 
 using namespace triarch::study;
 
-int
-main()
+namespace
 {
-    Runner runner;
-    auto results = runner.runAll();
-    buildTable4(runner.config(), results).render(std::cout);
+
+int
+run(triarch::bench::BenchContext &ctx)
+{
+    auto table = buildTable4(ctx.config(), ctx.allResults());
+    if (ctx.options().csv) {
+        table.renderCsv(std::cout);
+        return 0;
+    }
+    table.render(std::cout);
     std::cout
         << "\nReading guide (Section 4): VIRAM's corner turn reaches "
            "about half its\nbandwidth bound (address generators + "
@@ -25,3 +32,7 @@ main()
            "Imagine's CSLC achieves ~25% of peak ALU throughput.\n";
     return 0;
 }
+
+} // namespace
+
+TRIARCH_BENCH_MAIN("Table 4: performance-model bounds vs measured", run)

@@ -19,6 +19,7 @@
 
 #include <iostream>
 
+#include "bench_main.hh"
 #include "imagine/machine.hh"
 #include "raw/assembler.hh"
 #include "raw/machine.hh"
@@ -133,10 +134,8 @@ rawMatmul(raw::RawMachine &machine, unsigned n,
     return cycles;
 }
 
-} // namespace
-
 int
-main()
+run(bench::BenchContext &)
 {
     // ---- Raw: 16-tile vs single-tile matrix multiply. ----
     constexpr unsigned n = 64;
@@ -221,3 +220,9 @@ main()
                  "published kernels.\n";
     return 0;
 }
+
+} // namespace
+
+TRIARCH_BENCH_MAIN("cross-validation against prior published chip "
+                   "results",
+                   run)

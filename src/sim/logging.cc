@@ -1,5 +1,6 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 
@@ -8,19 +9,21 @@ namespace triarch
 
 namespace
 {
-LogLevel globalLevel = LogLevel::Inform;
+// Atomic so the parallel experiment engine's workers can log while
+// another thread adjusts the verbosity.
+std::atomic<LogLevel> globalLevel{LogLevel::Inform};
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
 }
 
 namespace detail

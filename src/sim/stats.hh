@@ -8,11 +8,19 @@
  * owns a StatGroup; the study framework reads the groups to explain
  * where cycles went (e.g. VIRAM precharge overhead, Imagine memory
  * stall fraction).
+ *
+ * Threading model: Scalar/Average/Distribution are single-owner
+ * stats — each machine model (and everything it owns) is confined
+ * to the one worker thread running its cell, so its stats need no
+ * synchronization and stay cheap in simulator hot loops. Counters
+ * shared *across* worker threads (scheduler progress, cache
+ * hit/miss tallies) use AtomicScalar instead.
  */
 
 #ifndef TRIARCH_SIM_STATS_HH
 #define TRIARCH_SIM_STATS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -36,6 +44,44 @@ class Scalar
 
   private:
     std::uint64_t count = 0;
+};
+
+/**
+ * A named 64-bit counter safe to bump from many threads at once
+ * (relaxed ordering — a tally, not a synchronization point). Used
+ * for cross-thread accounting in the parallel experiment engine;
+ * per-machine simulator stats stay on the unsynchronized Scalar.
+ */
+class AtomicScalar
+{
+  public:
+    AtomicScalar() = default;
+
+    AtomicScalar &
+    operator+=(std::uint64_t v)
+    {
+        count.fetch_add(v, std::memory_order_relaxed);
+        return *this;
+    }
+
+    AtomicScalar &
+    operator++()
+    {
+        count.fetch_add(1, std::memory_order_relaxed);
+        return *this;
+    }
+
+    void set(std::uint64_t v) { count.store(v, std::memory_order_relaxed); }
+    void reset() { set(0); }
+
+    std::uint64_t
+    value() const
+    {
+        return count.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> count{0};
 };
 
 /** Running mean of sampled values. */

@@ -2,11 +2,8 @@
 
 #include <cmath>
 
-#include "imagine/kernels_imagine.hh"
-#include "ppc/kernels_ppc.hh"
-#include "raw/kernels_raw.hh"
 #include "sim/logging.hh"
-#include "viram/kernels_viram.hh"
+#include "study/registry.hh"
 
 namespace triarch::study
 {
@@ -27,6 +24,61 @@ kernelName(KernelId id)
     return names[static_cast<unsigned>(id)];
 }
 
+const std::string &
+kernelToken(KernelId id)
+{
+    static const std::string tokens[] = {"ct", "cslc", "bs"};
+    return tokens[static_cast<unsigned>(id)];
+}
+
+namespace
+{
+
+/** FNV-1a over the bytes of integral values. */
+class Fnv1a
+{
+  public:
+    template <typename T>
+    void
+    mix(T value)
+    {
+        const auto v = static_cast<std::uint64_t>(value);
+        for (unsigned i = 0; i < 8; ++i) {
+            hash ^= (v >> (8 * i)) & 0xff;
+            hash *= 0x100000001B3ULL;
+        }
+    }
+
+    std::uint64_t value() const { return hash; }
+
+  private:
+    std::uint64_t hash = 0xCBF29CE484222325ULL;
+};
+
+} // namespace
+
+std::uint64_t
+studyConfigHash(const StudyConfig &cfg)
+{
+    Fnv1a h;
+    h.mix(cfg.matrixSize);
+    h.mix(cfg.cslc.mainChannels);
+    h.mix(cfg.cslc.auxChannels);
+    h.mix(cfg.cslc.samples);
+    h.mix(cfg.cslc.subBands);
+    h.mix(cfg.cslc.subBandLen);
+    h.mix(cfg.cslc.subBandStride);
+    h.mix(cfg.beam.elements);
+    h.mix(cfg.beam.directions);
+    h.mix(cfg.beam.dwells);
+    h.mix(cfg.beam.shift);
+    h.mix(cfg.jammerBins.size());
+    for (unsigned bin : cfg.jammerBins)
+        h.mix(bin);
+    h.mix(cfg.seed);
+    return h.value();
+}
+
 double
 RunResult::milliseconds() const
 {
@@ -34,28 +86,13 @@ RunResult::milliseconds() const
     return static_cast<double>(cycles) / (mhz * 1000.0);
 }
 
-/** Lazily built shared workloads and golden outputs. */
-struct Runner::Workloads
-{
-    // Corner turn.
-    kernels::WordMatrix matrix;
-
-    // CSLC.
-    kernels::CslcInput cslcIn;
-    kernels::CslcWeights weights;
-    kernels::CslcOutput refMixed;
-    kernels::CslcOutput refRadix2;
-
-    // Beam steering.
-    kernels::BeamTables tables;
-    std::vector<std::int32_t> beamRef;
-};
-
-Runner::Runner(StudyConfig run_config)
-    : cfg(std::move(run_config)), work(std::make_unique<Workloads>())
+std::shared_ptr<const Workloads>
+buildWorkloads(const StudyConfig &cfg)
 {
     triarch_assert(cfg.matrixSize >= 64 && cfg.matrixSize % 64 == 0,
                    "matrix size must be a positive multiple of 64");
+
+    auto work = std::make_shared<Workloads>();
 
     work->matrix = kernels::WordMatrix(cfg.matrixSize, cfg.matrixSize);
     kernels::fillMatrix(work->matrix, cfg.seed);
@@ -72,17 +109,17 @@ Runner::Runner(StudyConfig run_config)
 
     work->tables = kernels::makeBeamTables(cfg.beam, cfg.seed + 1);
     work->beamRef = kernels::beamSteerReference(cfg.beam, work->tables);
+
+    return work;
 }
 
-Runner::~Runner() = default;
-
 bool
-Runner::cslcValid(const kernels::CslcOutput &out,
-                  kernels::FftAlgo algo) const
+cslcOutputValid(const StudyConfig &cfg, const Workloads &work,
+                const kernels::CslcOutput &out, kernels::FftAlgo algo)
 {
     const kernels::CslcOutput &ref = algo == kernels::FftAlgo::Mixed128
-                                         ? work->refMixed
-                                         : work->refRadix2;
+                                         ? work.refMixed
+                                         : work.refRadix2;
     double err = 0.0, power = 0.0;
     for (unsigned m = 0; m < cfg.cslc.mainChannels; ++m) {
         for (std::size_t i = 0; i < ref.main[m].size(); ++i) {
@@ -93,179 +130,31 @@ Runner::cslcValid(const kernels::CslcOutput &out,
     return err <= 1e-4 * power;
 }
 
-RunResult
-Runner::runCornerTurn(MachineId machine)
+Runner::Runner(StudyConfig run_config, const MappingRegistry *mappings)
+    : cfg(std::move(run_config)),
+      mappings(mappings ? mappings : &MappingRegistry::builtin()),
+      work(buildWorkloads(cfg))
 {
-    RunResult result;
-    result.machine = machine;
-    result.kernel = KernelId::CornerTurn;
-
-    kernels::WordMatrix dst;
-    switch (machine) {
-      case MachineId::PpcScalar:
-      case MachineId::PpcAltivec: {
-        ppc::PpcMachine m;
-        result.cycles = ppc::cornerTurnPpc(
-            m, work->matrix, dst, machine == MachineId::PpcAltivec);
-        result.notes.emplace_back(
-            "mem_stall_fraction",
-            static_cast<double>(m.memStallCycles()) / result.cycles);
-        break;
-      }
-      case MachineId::Viram: {
-        viram::ViramMachine m;
-        result.cycles = viram::cornerTurnViram(m, work->matrix, dst);
-        result.notes.emplace_back(
-            "row_overhead_fraction",
-            static_cast<double>(m.rowOverheadCycles()) / result.cycles);
-        result.notes.emplace_back(
-            "tlb_overhead_fraction",
-            static_cast<double>(m.tlbOverheadCycles()) / result.cycles);
-        break;
-      }
-      case MachineId::Imagine: {
-        imagine::ImagineMachine m;
-        result.cycles =
-            imagine::cornerTurnImagine(m, work->matrix, dst);
-        result.notes.emplace_back("memory_fraction",
-                                  m.memoryFraction());
-        break;
-      }
-      case MachineId::Raw: {
-        raw::RawMachine m;
-        result.cycles = raw::cornerTurnRaw(m, work->matrix, dst);
-        result.notes.emplace_back(
-            "instr_per_cycle_per_tile",
-            static_cast<double>(m.instructions())
-                / result.cycles / m.config().tiles());
-        break;
-      }
-    }
-    result.validated = kernels::isTransposeOf(work->matrix, dst);
-    return result;
 }
 
-RunResult
-Runner::runCslc(MachineId machine)
+Runner::~Runner() = default;
+
+RunOutcome
+Runner::tryRun(MachineId machine, KernelId kernel)
 {
-    RunResult result;
-    result.machine = machine;
-    result.kernel = KernelId::Cslc;
-
-    kernels::CslcOutput out;
-    switch (machine) {
-      case MachineId::PpcScalar:
-      case MachineId::PpcAltivec: {
-        ppc::PpcMachine m;
-        result.cycles = ppc::cslcPpc(
-            m, cfg.cslc, work->cslcIn, work->weights, out,
-            machine == MachineId::PpcAltivec);
-        result.validated = cslcValid(out, kernels::FftAlgo::Radix2);
-        break;
-      }
-      case MachineId::Viram: {
-        viram::ViramMachine m;
-        result.cycles = viram::cslcViram(m, cfg.cslc, work->cslcIn,
-                                         work->weights, out);
-        result.validated = cslcValid(out, kernels::FftAlgo::Radix2);
-        result.notes.emplace_back(
-            "shuffle_fraction",
-            static_cast<double>(m.permInstructions())
-                / m.vectorInstructions());
-        break;
-      }
-      case MachineId::Imagine: {
-        imagine::ImagineMachine m;
-        result.cycles = imagine::cslcImagine(m, cfg.cslc, work->cslcIn,
-                                             work->weights, out);
-        result.validated = cslcValid(out, kernels::FftAlgo::Mixed128);
-        result.notes.emplace_back("alu_utilization",
-                                  m.aluUtilization());
-        break;
-      }
-      case MachineId::Raw: {
-        raw::RawMachine m;
-        auto r = raw::cslcRaw(m, cfg.cslc, work->cslcIn, work->weights,
-                              out);
-        result.cycles = r.balancedCycles;
-        result.measuredUnbalanced = r.cycles;
-        result.validated = cslcValid(out, kernels::FftAlgo::Radix2);
-        result.notes.emplace_back("idle_fraction", r.idleFraction);
-        result.notes.emplace_back(
-            "cache_stall_fraction",
-            static_cast<double>(m.cacheStallCycles())
-                / (static_cast<double>(m.config().tiles()) * r.cycles));
-        result.notes.emplace_back(
-            "ldst_fraction",
-            static_cast<double>(m.loadStores())
-                / (static_cast<double>(m.config().tiles()) * r.cycles));
-        break;
-      }
-    }
-    return result;
-}
-
-RunResult
-Runner::runBeamSteering(MachineId machine)
-{
-    RunResult result;
-    result.machine = machine;
-    result.kernel = KernelId::BeamSteering;
-
-    std::vector<std::int32_t> out;
-    switch (machine) {
-      case MachineId::PpcScalar:
-      case MachineId::PpcAltivec: {
-        ppc::PpcMachine m;
-        result.cycles = ppc::beamSteeringPpc(
-            m, cfg.beam, work->tables, out,
-            machine == MachineId::PpcAltivec);
-        break;
-      }
-      case MachineId::Viram: {
-        viram::ViramMachine m;
-        result.cycles =
-            viram::beamSteeringViram(m, cfg.beam, work->tables, out);
-        const double compute =
-            static_cast<double>(m.vau0Busy() + m.vau1Busy()) / 2.0;
-        result.notes.emplace_back("compute_bound_fraction",
-                                  compute / result.cycles);
-        break;
-      }
-      case MachineId::Imagine: {
-        imagine::ImagineMachine m;
-        result.cycles = imagine::beamSteeringImagine(
-            m, cfg.beam, work->tables, out);
-        result.notes.emplace_back("memory_fraction",
-                                  m.memoryFraction());
-        break;
-      }
-      case MachineId::Raw: {
-        raw::RawMachine m;
-        result.cycles =
-            raw::beamSteeringRaw(m, cfg.beam, work->tables, out);
-        result.notes.emplace_back(
-            "loads_stores",
-            static_cast<double>(m.loadStores()));
-        break;
-      }
-    }
-    result.validated = out == work->beamRef;
-    return result;
+    const KernelMapping *mapping = mappings->find(machine, kernel);
+    if (!mapping)
+        return mappings->missing(machine, kernel);
+    return (*mapping)(cfg, *work);
 }
 
 RunResult
 Runner::run(MachineId machine, KernelId kernel)
 {
-    switch (kernel) {
-      case KernelId::CornerTurn:
-        return runCornerTurn(machine);
-      case KernelId::Cslc:
-        return runCslc(machine);
-      case KernelId::BeamSteering:
-        return runBeamSteering(machine);
-    }
-    triarch_panic("unknown kernel");
+    RunOutcome outcome = tryRun(machine, kernel);
+    if (auto *err = std::get_if<MappingError>(&outcome))
+        triarch_fatal(err->message);
+    return std::get<RunResult>(std::move(outcome));
 }
 
 std::vector<RunResult>

@@ -1,18 +1,25 @@
 /**
  * @file
  * The experiment runner: builds the paper's workloads, dispatches a
- * (machine, kernel) pair to the right simulator mapping, validates
- * the output against the reference kernels, and returns the cycle
- * count plus explanatory statistics. This is the measurement loop
- * behind Table 3 and Figures 8-9.
+ * (machine, kernel) pair to the registered simulator mapping,
+ * validates the output against the reference kernels, and returns
+ * the cycle count plus explanatory statistics. This is the
+ * measurement loop behind Table 3 and Figures 8-9.
+ *
+ * Dispatch goes through a MappingRegistry (registry.hh) rather than
+ * hard-coded switches, so new architectures and kernels plug in by
+ * registration, and the same cell implementations serve both the
+ * serial Runner here and the ParallelRunner (parallel.hh).
  */
 
 #ifndef TRIARCH_STUDY_EXPERIMENT_HH
 #define TRIARCH_STUDY_EXPERIMENT_HH
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "kernels/beam_steering.hh"
@@ -30,6 +37,9 @@ enum class KernelId { CornerTurn, Cslc, BeamSteering };
 const std::vector<KernelId> &allKernels();
 const std::string &kernelName(KernelId id);
 
+/** Short machine-readable kernel id ("ct", "cslc", "bs"). */
+const std::string &kernelToken(KernelId id);
+
 /** Workload parameters; defaults are the paper's (Section 3). */
 struct StudyConfig
 {
@@ -39,6 +49,14 @@ struct StudyConfig
     std::vector<unsigned> jammerBins = {300, 1700, 4090};
     std::uint64_t seed = 11;
 };
+
+/**
+ * Stable 64-bit hash over every workload-affecting field of a
+ * StudyConfig. Two configs with the same hash produce the same
+ * workloads and hence the same per-cell results; the ResultCache
+ * keys on (machine, kernel, this hash).
+ */
+std::uint64_t studyConfigHash(const StudyConfig &cfg);
 
 /** Outcome of one (machine, kernel) measurement. */
 struct RunResult
@@ -57,39 +75,99 @@ struct RunResult
 
     /** Wall-clock milliseconds at the machine's clock rate. */
     double milliseconds() const;
+
+    /** Field-for-field (bit-identical) comparison. */
+    friend bool operator==(const RunResult &,
+                           const RunResult &) = default;
 };
 
 /**
+ * Immutable shared workloads and golden outputs, built once per
+ * configuration and shared (read-only) by every cell that runs
+ * against it — including cells running concurrently on worker
+ * threads, which is safe because nothing mutates a Workloads after
+ * buildWorkloads() returns.
+ */
+struct Workloads
+{
+    // Corner turn.
+    kernels::WordMatrix matrix;
+
+    // CSLC.
+    kernels::CslcInput cslcIn;
+    kernels::CslcWeights weights;
+    kernels::CslcOutput refMixed;
+    kernels::CslcOutput refRadix2;
+
+    // Beam steering.
+    kernels::BeamTables tables;
+    std::vector<std::int32_t> beamRef;
+};
+
+/**
+ * Deterministically synthesize the workloads and reference outputs
+ * for @p cfg (everything derives from cfg.seed). Panics on
+ * impossible configurations.
+ */
+std::shared_ptr<const Workloads> buildWorkloads(const StudyConfig &cfg);
+
+/** Validate a CSLC output against the matching-radix reference. */
+bool cslcOutputValid(const StudyConfig &cfg, const Workloads &work,
+                     const kernels::CslcOutput &out,
+                     kernels::FftAlgo algo);
+
+/**
+ * Typed error for a (machine, kernel) pair with no registered
+ * mapping — returned instead of falling through a switch.
+ */
+struct MappingError
+{
+    MachineId machine{};
+    KernelId kernel{};
+    std::string message;
+};
+
+/** A run either measures a cell or names the missing mapping. */
+using RunOutcome = std::variant<RunResult, MappingError>;
+
+class MappingRegistry;
+
+/**
  * Builds workloads once and runs any (machine, kernel) pair on
- * freshly constructed machine models.
+ * freshly constructed machine models, serially on the calling
+ * thread. ParallelRunner (parallel.hh) is the concurrent,
+ * result-caching equivalent; both dispatch through the same
+ * MappingRegistry and produce bit-identical results.
  */
 class Runner
 {
   public:
-    explicit Runner(StudyConfig run_config = {});
+    /** @p mappings defaults to MappingRegistry::builtin(). */
+    explicit Runner(StudyConfig run_config = {},
+                    const MappingRegistry *mappings = nullptr);
     ~Runner();
 
     const StudyConfig &config() const { return cfg; }
 
-    /** Run one cell of Table 3. */
+    /** The shared immutable workloads (never null). */
+    const std::shared_ptr<const Workloads> &workloads() const
+    {
+        return work;
+    }
+
+    /** Run one cell of Table 3 (fatal if the pair is unmapped). */
     RunResult run(MachineId machine, KernelId kernel);
+
+    /** Run one cell, or report the missing mapping as a value. */
+    RunOutcome tryRun(MachineId machine, KernelId kernel);
 
     /** Run all 15 cells (5 platforms x 3 kernels). */
     std::vector<RunResult> runAll();
 
   private:
-    struct Workloads;
-
-    RunResult runCornerTurn(MachineId machine);
-    RunResult runCslc(MachineId machine);
-    RunResult runBeamSteering(MachineId machine);
-
-    /** Validate a CSLC output against the matching-radix reference. */
-    bool cslcValid(const kernels::CslcOutput &out,
-                   kernels::FftAlgo algo) const;
-
     StudyConfig cfg;
-    std::unique_ptr<Workloads> work;
+    const MappingRegistry *mappings;
+    std::shared_ptr<const Workloads> work;
 };
 
 } // namespace triarch::study

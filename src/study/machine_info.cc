@@ -61,4 +61,12 @@ machineName(MachineId id)
     return machineInfo(id).name;
 }
 
+const std::string &
+machineToken(MachineId id)
+{
+    static const std::string tokens[] = {"ppc", "altivec", "viram",
+                                         "imagine", "raw"};
+    return tokens[static_cast<unsigned>(id)];
+}
+
 } // namespace triarch::study

@@ -65,6 +65,9 @@ const std::vector<MachineId> &researchMachines();
 /** Short display name ("VIRAM", "Altivec", ...). */
 const std::string &machineName(MachineId id);
 
+/** Short machine-readable id ("ppc", "altivec", "viram", ...). */
+const std::string &machineToken(MachineId id);
+
 } // namespace triarch::study
 
 #endif // TRIARCH_STUDY_MACHINE_INFO_HH

@@ -1,0 +1,147 @@
+#include "parallel.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "sim/logging.hh"
+#include "study/registry.hh"
+
+namespace triarch::study
+{
+
+std::vector<Cell>
+allCells()
+{
+    std::vector<Cell> cells;
+    cells.reserve(allMachines().size() * allKernels().size());
+    for (MachineId machine : allMachines()) {
+        for (KernelId kernel : allKernels())
+            cells.push_back({machine, kernel});
+    }
+    return cells;
+}
+
+ResultCache *
+ParallelRunner::defaultCache()
+{
+    return &ResultCache::global();
+}
+
+ParallelRunner::ParallelRunner(StudyConfig run_config,
+                               unsigned num_threads,
+                               const MappingRegistry *mappings,
+                               ResultCache *cache)
+    : cfg(std::move(run_config)),
+      cfgHash(studyConfigHash(cfg)),
+      nthreads(num_threads),
+      mappings(mappings ? mappings : &MappingRegistry::builtin()),
+      cache(cache),
+      work(buildWorkloads(cfg))
+{
+}
+
+ParallelRunner::~ParallelRunner() = default;
+
+RunOutcome
+ParallelRunner::tryRun(MachineId machine, KernelId kernel)
+{
+    return tryRunCells({{machine, kernel}}).front();
+}
+
+RunResult
+ParallelRunner::run(MachineId machine, KernelId kernel)
+{
+    return runCells({{machine, kernel}}).front();
+}
+
+std::vector<RunResult>
+ParallelRunner::runAll()
+{
+    return runCells(allCells());
+}
+
+std::vector<RunResult>
+ParallelRunner::runCells(const std::vector<Cell> &cells)
+{
+    std::vector<RunOutcome> outcomes = tryRunCells(cells);
+    std::vector<RunResult> results;
+    results.reserve(outcomes.size());
+    for (RunOutcome &outcome : outcomes) {
+        if (auto *err = std::get_if<MappingError>(&outcome))
+            triarch_fatal(err->message);
+        results.push_back(std::get<RunResult>(std::move(outcome)));
+    }
+    return results;
+}
+
+std::vector<RunOutcome>
+ParallelRunner::tryRunCells(const std::vector<Cell> &cells)
+{
+    std::vector<RunOutcome> outcomes(cells.size(),
+                                     RunOutcome{MappingError{}});
+
+    // Serve what the cache already has; queue the rest.
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (cache) {
+            if (auto hit = cache->get(cells[i].machine,
+                                      cells[i].kernel, cfgHash)) {
+                outcomes[i] = std::move(*hit);
+                continue;
+            }
+        }
+        pending.push_back(i);
+    }
+    if (pending.empty())
+        return outcomes;
+
+    // Each worker claims queue slots with an atomic ticket; results
+    // land in the outcome slot of their cell, so the output order is
+    // scheduling-independent.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t ticket =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (ticket >= pending.size())
+                return;
+            const std::size_t slot = pending[ticket];
+            const Cell &cell = cells[slot];
+            const KernelMapping *mapping =
+                mappings->find(cell.machine, cell.kernel);
+            if (!mapping) {
+                outcomes[slot] =
+                    mappings->missing(cell.machine, cell.kernel);
+                continue;
+            }
+            RunResult result = (*mapping)(cfg, *work);
+            if (cache)
+                cache->put(result, cfgHash);
+            outcomes[slot] = std::move(result);
+        }
+    };
+
+    unsigned n = nthreads;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 4;
+    }
+    if (n > pending.size())
+        n = static_cast<unsigned>(pending.size());
+
+    if (n <= 1) {
+        worker();
+        return outcomes;
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return outcomes;
+}
+
+} // namespace triarch::study

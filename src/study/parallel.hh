@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The parallel experiment engine: a work-queue scheduler that runs
+ * any set of (machine, kernel) cells concurrently on freshly
+ * constructed per-task machine models against one immutable shared
+ * Workloads, producing results bit-identical to the serial Runner.
+ *
+ * Determinism: every KernelMapping is a pure function of the
+ * (config, workloads) pair — machines are constructed per task, the
+ * workloads are synthesized once from the config seed before any
+ * worker starts, and no mapping touches global mutable state (the
+ * FFT twiddle caches are thread_local; see the re-entrancy notes in
+ * kernels/fft.cc). Results land in slots indexed by cell, not by
+ * completion order, so the output vector is independent of thread
+ * count and scheduling.
+ */
+
+#ifndef TRIARCH_STUDY_PARALLEL_HH
+#define TRIARCH_STUDY_PARALLEL_HH
+
+#include <memory>
+#include <vector>
+
+#include "study/experiment.hh"
+#include "study/result_cache.hh"
+
+namespace triarch::study
+{
+
+/** One schedulable task: a (machine, kernel) pair. */
+struct Cell
+{
+    MachineId machine{};
+    KernelId kernel{};
+
+    friend bool operator==(const Cell &, const Cell &) = default;
+};
+
+/** All 15 Table-3 cells in (machine-major, kernel-minor) order. */
+std::vector<Cell> allCells();
+
+class ParallelRunner
+{
+  public:
+    /**
+     * @param run_config workload parameters (the paper's by default)
+     * @param num_threads worker count; 0 picks the hardware
+     *        concurrency, capped at the number of scheduled cells
+     * @param mappings dispatch table; defaults to
+     *        MappingRegistry::builtin()
+     * @param cache cell cache; defaults to ResultCache::global().
+     *        Pass noCache() to force every cell to recompute.
+     */
+    explicit ParallelRunner(StudyConfig run_config = {},
+                            unsigned num_threads = 0,
+                            const MappingRegistry *mappings = nullptr,
+                            ResultCache *cache = defaultCache());
+    ~ParallelRunner();
+
+    const StudyConfig &config() const { return cfg; }
+
+    /** The hash the cache keys this runner's cells under. */
+    std::uint64_t configHash() const { return cfgHash; }
+
+    /** Configured worker count (0 = hardware concurrency). */
+    unsigned threads() const { return nthreads; }
+
+    /** The shared immutable workloads (never null). */
+    const std::shared_ptr<const Workloads> &workloads() const
+    {
+        return work;
+    }
+
+    /** Run one cell, through the cache (fatal if unmapped). */
+    RunResult run(MachineId machine, KernelId kernel);
+
+    /** Run one cell, or report the missing mapping as a value. */
+    RunOutcome tryRun(MachineId machine, KernelId kernel);
+
+    /** Run all 15 cells concurrently; same order as Runner::runAll(). */
+    std::vector<RunResult> runAll();
+
+    /** Run an arbitrary cell set concurrently (fatal if any pair is
+     *  unmapped); results are returned in @p cells order. */
+    std::vector<RunResult> runCells(const std::vector<Cell> &cells);
+
+    /** Like runCells(), but unmapped pairs come back as typed
+     *  MappingError values in their slots instead of aborting. */
+    std::vector<RunOutcome> tryRunCells(const std::vector<Cell> &cells);
+
+    /** Sentinel distinguishing "default cache" from "no cache". */
+    static ResultCache *defaultCache();
+
+    /** Pass as @p cache to disable caching entirely. */
+    static ResultCache *noCache() { return nullptr; }
+
+  private:
+    StudyConfig cfg;
+    std::uint64_t cfgHash;
+    unsigned nthreads;
+    const MappingRegistry *mappings;
+    ResultCache *cache;
+    std::shared_ptr<const Workloads> work;
+};
+
+} // namespace triarch::study
+
+#endif // TRIARCH_STUDY_PARALLEL_HH

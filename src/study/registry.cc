@@ -1,0 +1,326 @@
+#include "registry.hh"
+
+#include "imagine/kernels_imagine.hh"
+#include "ppc/kernels_ppc.hh"
+#include "raw/kernels_raw.hh"
+#include "sim/logging.hh"
+#include "viram/kernels_viram.hh"
+
+namespace triarch::study
+{
+
+void
+MappingRegistry::add(MachineId machine, KernelId kernel,
+                     KernelMapping mapping)
+{
+    triarch_assert(mapping != nullptr, "null mapping for ",
+                   machineName(machine), "/", kernelName(kernel));
+    auto [it, inserted] =
+        mappings.emplace(key(machine, kernel), std::move(mapping));
+    (void)it;
+    triarch_assert(inserted, "duplicate mapping for ",
+                   machineName(machine), "/", kernelName(kernel));
+}
+
+const KernelMapping *
+MappingRegistry::find(MachineId machine, KernelId kernel) const noexcept
+{
+    auto it = mappings.find(key(machine, kernel));
+    return it == mappings.end() ? nullptr : &it->second;
+}
+
+MappingError
+MappingRegistry::missing(MachineId machine, KernelId kernel) const
+{
+    MappingError err;
+    err.machine = machine;
+    err.kernel = kernel;
+    err.message = "no kernel mapping registered for "
+                  + machineName(machine) + " / " + kernelName(kernel);
+    return err;
+}
+
+std::vector<std::pair<MachineId, KernelId>>
+MappingRegistry::registeredPairs() const
+{
+    std::vector<std::pair<MachineId, KernelId>> pairs;
+    pairs.reserve(mappings.size());
+    for (const auto &[k, mapping] : mappings) {
+        (void)mapping;
+        pairs.emplace_back(static_cast<MachineId>(k.first),
+                           static_cast<KernelId>(k.second));
+    }
+    return pairs;
+}
+
+namespace
+{
+
+RunResult
+cellResult(MachineId machine, KernelId kernel)
+{
+    RunResult result;
+    result.machine = machine;
+    result.kernel = kernel;
+    return result;
+}
+
+// ---------------------------------------------------------------
+// PowerPC G4 (scalar and AltiVec share the mapping bodies; the
+// AltiVec flag selects the vectorized code paths).
+// ---------------------------------------------------------------
+
+void
+registerPpc(MappingRegistry &r, MachineId id, bool altivec)
+{
+    r.add(id, KernelId::CornerTurn,
+          [id, altivec](const StudyConfig &, const Workloads &work) {
+              RunResult result = cellResult(id, KernelId::CornerTurn);
+              ppc::PpcMachine m;
+              kernels::WordMatrix dst;
+              result.cycles =
+                  ppc::cornerTurnPpc(m, work.matrix, dst, altivec);
+              result.notes.emplace_back(
+                  "mem_stall_fraction",
+                  static_cast<double>(m.memStallCycles())
+                      / result.cycles);
+              result.validated =
+                  kernels::isTransposeOf(work.matrix, dst);
+              return result;
+          });
+
+    r.add(id, KernelId::Cslc,
+          [id, altivec](const StudyConfig &cfg, const Workloads &work) {
+              RunResult result = cellResult(id, KernelId::Cslc);
+              ppc::PpcMachine m;
+              kernels::CslcOutput out;
+              result.cycles =
+                  ppc::cslcPpc(m, cfg.cslc, work.cslcIn, work.weights,
+                               out, altivec);
+              result.validated = cslcOutputValid(
+                  cfg, work, out, kernels::FftAlgo::Radix2);
+              return result;
+          });
+
+    r.add(id, KernelId::BeamSteering,
+          [id, altivec](const StudyConfig &cfg, const Workloads &work) {
+              RunResult result =
+                  cellResult(id, KernelId::BeamSteering);
+              ppc::PpcMachine m;
+              std::vector<std::int32_t> out;
+              result.cycles = ppc::beamSteeringPpc(
+                  m, cfg.beam, work.tables, out, altivec);
+              result.validated = out == work.beamRef;
+              return result;
+          });
+}
+
+// ---------------------------------------------------------------
+// Berkeley VIRAM (processor-in-memory vector machine).
+// ---------------------------------------------------------------
+
+void
+registerViram(MappingRegistry &r)
+{
+    const MachineId id = MachineId::Viram;
+
+    r.add(id, KernelId::CornerTurn,
+          [](const StudyConfig &, const Workloads &work) {
+              RunResult result =
+                  cellResult(MachineId::Viram, KernelId::CornerTurn);
+              viram::ViramMachine m;
+              kernels::WordMatrix dst;
+              result.cycles =
+                  viram::cornerTurnViram(m, work.matrix, dst);
+              result.notes.emplace_back(
+                  "row_overhead_fraction",
+                  static_cast<double>(m.rowOverheadCycles())
+                      / result.cycles);
+              result.notes.emplace_back(
+                  "tlb_overhead_fraction",
+                  static_cast<double>(m.tlbOverheadCycles())
+                      / result.cycles);
+              result.validated =
+                  kernels::isTransposeOf(work.matrix, dst);
+              return result;
+          });
+
+    r.add(id, KernelId::Cslc,
+          [](const StudyConfig &cfg, const Workloads &work) {
+              RunResult result =
+                  cellResult(MachineId::Viram, KernelId::Cslc);
+              viram::ViramMachine m;
+              kernels::CslcOutput out;
+              result.cycles = viram::cslcViram(m, cfg.cslc, work.cslcIn,
+                                               work.weights, out);
+              result.validated = cslcOutputValid(
+                  cfg, work, out, kernels::FftAlgo::Radix2);
+              result.notes.emplace_back(
+                  "shuffle_fraction",
+                  static_cast<double>(m.permInstructions())
+                      / m.vectorInstructions());
+              return result;
+          });
+
+    r.add(id, KernelId::BeamSteering,
+          [](const StudyConfig &cfg, const Workloads &work) {
+              RunResult result = cellResult(MachineId::Viram,
+                                            KernelId::BeamSteering);
+              viram::ViramMachine m;
+              std::vector<std::int32_t> out;
+              result.cycles = viram::beamSteeringViram(m, cfg.beam,
+                                                       work.tables, out);
+              const double compute =
+                  static_cast<double>(m.vau0Busy() + m.vau1Busy())
+                  / 2.0;
+              result.notes.emplace_back("compute_bound_fraction",
+                                        compute / result.cycles);
+              result.validated = out == work.beamRef;
+              return result;
+          });
+}
+
+// ---------------------------------------------------------------
+// Stanford Imagine (stream processor).
+// ---------------------------------------------------------------
+
+void
+registerImagine(MappingRegistry &r)
+{
+    const MachineId id = MachineId::Imagine;
+
+    r.add(id, KernelId::CornerTurn,
+          [](const StudyConfig &, const Workloads &work) {
+              RunResult result =
+                  cellResult(MachineId::Imagine, KernelId::CornerTurn);
+              imagine::ImagineMachine m;
+              kernels::WordMatrix dst;
+              result.cycles =
+                  imagine::cornerTurnImagine(m, work.matrix, dst);
+              result.notes.emplace_back("memory_fraction",
+                                        m.memoryFraction());
+              result.validated =
+                  kernels::isTransposeOf(work.matrix, dst);
+              return result;
+          });
+
+    r.add(id, KernelId::Cslc,
+          [](const StudyConfig &cfg, const Workloads &work) {
+              RunResult result =
+                  cellResult(MachineId::Imagine, KernelId::Cslc);
+              imagine::ImagineMachine m;
+              kernels::CslcOutput out;
+              result.cycles = imagine::cslcImagine(
+                  m, cfg.cslc, work.cslcIn, work.weights, out);
+              result.validated = cslcOutputValid(
+                  cfg, work, out, kernels::FftAlgo::Mixed128);
+              result.notes.emplace_back("alu_utilization",
+                                        m.aluUtilization());
+              return result;
+          });
+
+    r.add(id, KernelId::BeamSteering,
+          [](const StudyConfig &cfg, const Workloads &work) {
+              RunResult result = cellResult(MachineId::Imagine,
+                                            KernelId::BeamSteering);
+              imagine::ImagineMachine m;
+              std::vector<std::int32_t> out;
+              result.cycles = imagine::beamSteeringImagine(
+                  m, cfg.beam, work.tables, out);
+              result.notes.emplace_back("memory_fraction",
+                                        m.memoryFraction());
+              result.validated = out == work.beamRef;
+              return result;
+          });
+}
+
+// ---------------------------------------------------------------
+// MIT Raw (tiled processor).
+// ---------------------------------------------------------------
+
+void
+registerRaw(MappingRegistry &r)
+{
+    const MachineId id = MachineId::Raw;
+
+    r.add(id, KernelId::CornerTurn,
+          [](const StudyConfig &, const Workloads &work) {
+              RunResult result =
+                  cellResult(MachineId::Raw, KernelId::CornerTurn);
+              raw::RawMachine m;
+              kernels::WordMatrix dst;
+              result.cycles = raw::cornerTurnRaw(m, work.matrix, dst);
+              result.notes.emplace_back(
+                  "instr_per_cycle_per_tile",
+                  static_cast<double>(m.instructions())
+                      / result.cycles / m.config().tiles());
+              result.validated =
+                  kernels::isTransposeOf(work.matrix, dst);
+              return result;
+          });
+
+    r.add(id, KernelId::Cslc,
+          [](const StudyConfig &cfg, const Workloads &work) {
+              RunResult result =
+                  cellResult(MachineId::Raw, KernelId::Cslc);
+              raw::RawMachine m;
+              kernels::CslcOutput out;
+              auto r2 = raw::cslcRaw(m, cfg.cslc, work.cslcIn,
+                                     work.weights, out);
+              result.cycles = r2.balancedCycles;
+              result.measuredUnbalanced = r2.cycles;
+              result.validated = cslcOutputValid(
+                  cfg, work, out, kernels::FftAlgo::Radix2);
+              result.notes.emplace_back("idle_fraction",
+                                        r2.idleFraction);
+              result.notes.emplace_back(
+                  "cache_stall_fraction",
+                  static_cast<double>(m.cacheStallCycles())
+                      / (static_cast<double>(m.config().tiles())
+                         * r2.cycles));
+              result.notes.emplace_back(
+                  "ldst_fraction",
+                  static_cast<double>(m.loadStores())
+                      / (static_cast<double>(m.config().tiles())
+                         * r2.cycles));
+              return result;
+          });
+
+    r.add(id, KernelId::BeamSteering,
+          [](const StudyConfig &cfg, const Workloads &work) {
+              RunResult result =
+                  cellResult(MachineId::Raw, KernelId::BeamSteering);
+              raw::RawMachine m;
+              std::vector<std::int32_t> out;
+              result.cycles =
+                  raw::beamSteeringRaw(m, cfg.beam, work.tables, out);
+              result.notes.emplace_back(
+                  "loads_stores",
+                  static_cast<double>(m.loadStores()));
+              result.validated = out == work.beamRef;
+              return result;
+          });
+}
+
+MappingRegistry
+buildBuiltin()
+{
+    MappingRegistry r;
+    registerPpc(r, MachineId::PpcScalar, false);
+    registerPpc(r, MachineId::PpcAltivec, true);
+    registerViram(r);
+    registerImagine(r);
+    registerRaw(r);
+    return r;
+}
+
+} // namespace
+
+const MappingRegistry &
+MappingRegistry::builtin()
+{
+    static const MappingRegistry registry = buildBuiltin();
+    return registry;
+}
+
+} // namespace triarch::study

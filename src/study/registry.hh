@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Registry-based (machine, kernel) dispatch for the study. Each
+ * architecture registers one KernelMapping functor per kernel; the
+ * serial Runner and the ParallelRunner look mappings up here instead
+ * of switching on MachineId, and an unregistered pair surfaces as a
+ * typed MappingError rather than a silent fall-through.
+ *
+ * A KernelMapping is a pure function of the (immutable) StudyConfig
+ * and Workloads: it constructs a fresh machine model, runs the
+ * kernel, validates the output against the golden reference, and
+ * fills in the explanatory notes. Purity is what makes concurrent
+ * execution bit-identical to serial execution.
+ */
+
+#ifndef TRIARCH_STUDY_REGISTRY_HH
+#define TRIARCH_STUDY_REGISTRY_HH
+
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "study/experiment.hh"
+
+namespace triarch::study
+{
+
+/** Runs one cell: fresh machine, measure, validate, annotate. */
+using KernelMapping =
+    std::function<RunResult(const StudyConfig &, const Workloads &)>;
+
+class MappingRegistry
+{
+  public:
+    MappingRegistry() = default;
+
+    /** Register @p mapping for (machine, kernel); panics on a
+     *  duplicate registration. */
+    void add(MachineId machine, KernelId kernel, KernelMapping mapping);
+
+    /** The mapping for a pair, or nullptr if none is registered. */
+    const KernelMapping *find(MachineId machine,
+                              KernelId kernel) const noexcept;
+
+    /** The typed error describing an unregistered pair. */
+    MappingError missing(MachineId machine, KernelId kernel) const;
+
+    /** Registered pairs in deterministic (machine, kernel) order. */
+    std::vector<std::pair<MachineId, KernelId>> registeredPairs() const;
+
+    std::size_t size() const { return mappings.size(); }
+
+    /**
+     * The registry holding all built-in mappings: every pair in
+     * allMachines() x allKernels(). Built once, thread-safe to read
+     * concurrently.
+     */
+    static const MappingRegistry &builtin();
+
+  private:
+    using Key = std::pair<unsigned, unsigned>;
+
+    static Key
+    key(MachineId machine, KernelId kernel)
+    {
+        return {static_cast<unsigned>(machine),
+                static_cast<unsigned>(kernel)};
+    }
+
+    std::map<Key, KernelMapping> mappings;
+};
+
+} // namespace triarch::study
+
+#endif // TRIARCH_STUDY_REGISTRY_HH

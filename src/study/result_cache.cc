@@ -1,0 +1,66 @@
+#include "result_cache.hh"
+
+namespace triarch::study
+{
+
+std::optional<RunResult>
+ResultCache::get(MachineId machine, KernelId kernel,
+                 std::uint64_t config_hash) const
+{
+    const Key key{static_cast<unsigned>(machine),
+                  static_cast<unsigned>(kernel), config_hash};
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(key);
+    if (it == entries.end()) {
+        ++nMisses;
+        return std::nullopt;
+    }
+    ++nHits;
+    return it->second;
+}
+
+void
+ResultCache::put(const RunResult &result, std::uint64_t config_hash)
+{
+    const Key key{static_cast<unsigned>(result.machine),
+                  static_cast<unsigned>(result.kernel), config_hash};
+    std::lock_guard<std::mutex> lock(mu);
+    entries.insert_or_assign(key, result);
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return entries.size();
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    entries.clear();
+    nHits.reset();
+    nMisses.reset();
+}
+
+std::uint64_t
+ResultCache::hits() const
+{
+    return nHits.value();
+}
+
+std::uint64_t
+ResultCache::misses() const
+{
+    return nMisses.value();
+}
+
+ResultCache &
+ResultCache::global()
+{
+    static ResultCache cache;
+    return cache;
+}
+
+} // namespace triarch::study

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Per-cell result cache keyed by (machine, kernel, config-hash).
+ * Ablation sweeps share cells — fig8, fig9, and table3 all need the
+ * same 15 Table-3 runs — so any cell measured once under a given
+ * StudyConfig is never recomputed within the process. Safe for
+ * concurrent use by the ParallelRunner's worker threads.
+ */
+
+#ifndef TRIARCH_STUDY_RESULT_CACHE_HH
+#define TRIARCH_STUDY_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <tuple>
+
+#include "sim/stats.hh"
+#include "study/experiment.hh"
+
+namespace triarch::study
+{
+
+class ResultCache
+{
+  public:
+    ResultCache() = default;
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /** The cached result for a cell, if any. */
+    std::optional<RunResult> get(MachineId machine, KernelId kernel,
+                                 std::uint64_t config_hash) const;
+
+    /** Store @p result (keyed by its own machine/kernel ids). */
+    void put(const RunResult &result, std::uint64_t config_hash);
+
+    std::size_t size() const;
+    void clear();
+
+    /** Lookup counters (since construction or clear()). */
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+
+    /** The process-wide cache shared by default by every runner. */
+    static ResultCache &global();
+
+  private:
+    using Key = std::tuple<unsigned, unsigned, std::uint64_t>;
+
+    mutable std::mutex mu;
+    std::map<Key, RunResult> entries;
+    mutable stats::AtomicScalar nHits;
+    mutable stats::AtomicScalar nMisses;
+};
+
+} // namespace triarch::study
+
+#endif // TRIARCH_STUDY_RESULT_CACHE_HH

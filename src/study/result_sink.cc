@@ -1,0 +1,159 @@
+#include "result_sink.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace triarch::study
+{
+
+namespace
+{
+
+/** JSON string escape (control characters, quotes, backslash). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                std::ostringstream os;
+                os << "\\u" << std::hex << std::setw(4)
+                   << std::setfill('0') << static_cast<int>(c);
+                out += os.str();
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Render a double with enough digits to round-trip. */
+std::string
+jsonNumber(double v)
+{
+    std::ostringstream os;
+    os << std::setprecision(17) << v;
+    return os.str();
+}
+
+} // namespace
+
+ResultSink::ResultSink(StudyConfig sink_config)
+    : cfg(std::move(sink_config))
+{
+}
+
+void
+ResultSink::add(const RunResult &result)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    results.push_back(result);
+}
+
+void
+ResultSink::add(const std::vector<RunResult> &batch)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    results.insert(results.end(), batch.begin(), batch.end());
+}
+
+void
+ResultSink::metadata(const std::string &meta_key,
+                     const std::string &value)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    meta.emplace_back(meta_key, value);
+}
+
+std::size_t
+ResultSink::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return results.size();
+}
+
+void
+ResultSink::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+
+    os << "{\n  \"schema\": \"triarch.results.v1\",\n";
+
+    os << "  \"config\": {\n"
+       << "    \"matrix_size\": " << cfg.matrixSize << ",\n"
+       << "    \"seed\": " << cfg.seed << ",\n"
+       << "    \"cslc\": {\"main_channels\": " << cfg.cslc.mainChannels
+       << ", \"aux_channels\": " << cfg.cslc.auxChannels
+       << ", \"samples\": " << cfg.cslc.samples
+       << ", \"sub_bands\": " << cfg.cslc.subBands
+       << ", \"sub_band_len\": " << cfg.cslc.subBandLen
+       << ", \"sub_band_stride\": " << cfg.cslc.subBandStride
+       << "},\n"
+       << "    \"beam\": {\"elements\": " << cfg.beam.elements
+       << ", \"directions\": " << cfg.beam.directions
+       << ", \"dwells\": " << cfg.beam.dwells
+       << ", \"shift\": " << cfg.beam.shift << "},\n"
+       << "    \"jammer_bins\": [";
+    for (std::size_t i = 0; i < cfg.jammerBins.size(); ++i)
+        os << (i ? ", " : "") << cfg.jammerBins[i];
+    os << "],\n"
+       << "    \"hash\": \"" << std::hex << studyConfigHash(cfg)
+       << std::dec << "\"\n  },\n";
+
+    os << "  \"metadata\": {";
+    for (std::size_t i = 0; i < meta.size(); ++i) {
+        os << (i ? ", " : "") << "\"" << jsonEscape(meta[i].first)
+           << "\": \"" << jsonEscape(meta[i].second) << "\"";
+    }
+    os << "},\n";
+
+    os << "  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        os << "    {\"machine\": \""
+           << jsonEscape(machineName(r.machine)) << "\", \"machine_id\": \""
+           << machineToken(r.machine) << "\", \"kernel\": \""
+           << jsonEscape(kernelName(r.kernel)) << "\", \"kernel_id\": \""
+           << kernelToken(r.kernel) << "\",\n     \"cycles\": "
+           << r.cycles << ", \"milliseconds\": "
+           << jsonNumber(r.milliseconds()) << ", \"validated\": "
+           << (r.validated ? "true" : "false");
+        if (r.measuredUnbalanced) {
+            os << ", \"measured_unbalanced\": "
+               << *r.measuredUnbalanced;
+        }
+        os << ",\n     \"notes\": {";
+        for (std::size_t n = 0; n < r.notes.size(); ++n) {
+            os << (n ? ", " : "") << "\""
+               << jsonEscape(r.notes[n].first)
+               << "\": " << jsonNumber(r.notes[n].second);
+        }
+        os << "}}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+void
+ResultSink::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        triarch_fatal("cannot open '", path, "' for writing");
+    writeJson(os);
+    if (!os.good())
+        triarch_fatal("failed writing results JSON to '", path, "'");
+}
+
+} // namespace triarch::study

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Structured JSON results emitter for bench trajectory tracking:
+ * collects RunResults (and free-form metadata) and renders one
+ * self-describing JSON document — config block, metadata block, and
+ * a per-cell results array with cycles, wall-clock milliseconds,
+ * validation status, and every explanatory note. Safe to add() from
+ * multiple threads.
+ */
+
+#ifndef TRIARCH_STUDY_RESULT_SINK_HH
+#define TRIARCH_STUDY_RESULT_SINK_HH
+
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "study/experiment.hh"
+
+namespace triarch::study
+{
+
+class ResultSink
+{
+  public:
+    explicit ResultSink(StudyConfig sink_config = {});
+
+    ResultSink(const ResultSink &) = delete;
+    ResultSink &operator=(const ResultSink &) = delete;
+
+    /** Record one cell measurement. */
+    void add(const RunResult &result);
+
+    /** Record a batch of cell measurements. */
+    void add(const std::vector<RunResult> &results);
+
+    /** Attach a free-form metadata string (threads, wall time...). */
+    void metadata(const std::string &meta_key,
+                  const std::string &value);
+
+    std::size_t size() const;
+
+    /** Render the whole document ("triarch.results.v1"). */
+    void writeJson(std::ostream &os) const;
+
+    /** Render to @p path; fatal if the file cannot be written. */
+    void writeJsonFile(const std::string &path) const;
+
+  private:
+    mutable std::mutex mu;
+    StudyConfig cfg;
+    std::vector<RunResult> results;
+    std::vector<std::pair<std::string, std::string>> meta;
+};
+
+} // namespace triarch::study
+
+#endif // TRIARCH_STUDY_RESULT_SINK_HH
