@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
+#include "sim/trace.hh"
 #include "study/registry.hh"
 
 namespace triarch::bench
@@ -84,7 +86,14 @@ usage(std::ostream &os, const char *prog, const char *description)
           "  --json PATH         write structured results JSON\n"
           "  --csv               machine-readable table output "
           "where supported\n"
-          "  --help              this message\n";
+          "  --trace PATH        write a Chrome trace-event JSON "
+          "timeline (chrome://tracing, Perfetto)\n"
+          "  --stats PATH        write a triarch.stats.v1 counters "
+          "document\n"
+          "  --log-level LEVEL   quiet, warn, inform, or debug "
+          "(default warn)\n"
+          "  --help              this message\n"
+          "\nFlags accept both '--flag value' and '--flag=value'.\n";
 }
 
 } // namespace
@@ -161,8 +170,22 @@ benchMain(int argc, char **argv, const char *description,
     const char *prog = argc > 0 ? argv[0] : "bench";
 
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        std::string arg = argv[i];
+
+        // Accept --flag=value alongside --flag value.
+        std::string inlineValue;
+        bool haveInline = false;
+        if (arg.size() > 2 && arg.compare(0, 2, "--") == 0) {
+            if (const auto eq = arg.find('='); eq != std::string::npos) {
+                inlineValue = arg.substr(eq + 1);
+                arg.erase(eq);
+                haveInline = true;
+            }
+        }
+
         auto needValue = [&](const char *flag) -> std::string {
+            if (haveInline)
+                return inlineValue;
             if (i + 1 >= argc) {
                 std::cerr << prog << ": " << flag
                           << " needs a value\n";
@@ -215,6 +238,25 @@ benchMain(int argc, char **argv, const char *description,
             opts.seed = needNumber("--seed");
         } else if (arg == "--json") {
             opts.jsonPath = needValue("--json");
+        } else if (arg == "--trace") {
+            opts.tracePath = needValue("--trace");
+        } else if (arg == "--stats") {
+            opts.statsPath = needValue("--stats");
+        } else if (arg == "--log-level") {
+            const std::string v = lowered(needValue("--log-level"));
+            if (v == "quiet") {
+                setLogLevel(LogLevel::Quiet);
+            } else if (v == "warn") {
+                setLogLevel(LogLevel::Warn);
+            } else if (v == "inform") {
+                setLogLevel(LogLevel::Inform);
+            } else if (v == "debug") {
+                setLogLevel(LogLevel::Debug);
+            } else {
+                std::cerr << prog << ": unknown log level '" << v
+                          << "' (quiet, warn, inform, debug)\n";
+                return 2;
+            }
         } else if (arg == "--csv") {
             opts.csv = true;
         } else {
@@ -225,15 +267,41 @@ benchMain(int argc, char **argv, const char *description,
         }
     }
 
-    BenchContext ctx(opts);
-    const int rc = body(ctx);
+    // The session must outlive the context: the runner's worker
+    // threads (and their buffered events) drain in ~BenchContext.
+    std::unique_ptr<trace::TraceSession> session;
+    if (!opts.tracePath.empty()) {
+        session = std::make_unique<trace::TraceSession>();
+        session->start();
+    }
 
-    if (rc == 0 && !opts.jsonPath.empty()) {
-        ctx.sink().metadata("bench", prog);
-        ctx.sink().metadata("threads",
-                            std::to_string(opts.threads));
-        ctx.sink().writeJsonFile(opts.jsonPath);
-        std::cout << "\nresults written to " << opts.jsonPath << "\n";
+    int rc;
+    {
+        BenchContext ctx(opts);
+        rc = body(ctx);
+
+        if (rc == 0 && !opts.jsonPath.empty()) {
+            ctx.sink().metadata("bench", prog);
+            ctx.sink().metadata("threads",
+                                std::to_string(opts.threads));
+            ctx.sink().writeJsonFile(opts.jsonPath);
+            std::cout << "\nresults written to " << opts.jsonPath
+                      << "\n";
+        }
+    }
+
+    if (session) {
+        session->stop();
+        if (rc == 0) {
+            session->writeJsonFile(opts.tracePath);
+            std::cout << "trace written to " << opts.tracePath
+                      << "\n";
+        }
+    }
+    if (rc == 0 && !opts.statsPath.empty()) {
+        metrics::MetricsRegistry::global().writeJsonFile(
+            opts.statsPath);
+        std::cout << "stats written to " << opts.statsPath << "\n";
     }
     return rc;
 }

@@ -14,7 +14,12 @@
  *   --seed N            workload synthesis seed (default 11)
  *   --json PATH         write a triarch.results.v1 JSON document
  *   --csv               machine-readable table output where supported
+ *   --trace PATH        write a Chrome trace-event JSON timeline
+ *   --stats PATH        write a triarch.stats.v1 counters document
+ *   --log-level LEVEL   quiet, warn, inform, or debug
  *   --help              usage
+ *
+ * Flags accept both "--flag value" and "--flag=value".
  */
 
 #ifndef TRIARCH_BENCH_BENCH_MAIN_HH
@@ -38,6 +43,8 @@ struct BenchOptions
     unsigned threads = 0;                    //!< 0 = hardware
     std::uint64_t seed = 11;
     std::string jsonPath;                    //!< empty = no JSON
+    std::string tracePath;                   //!< empty = no tracing
+    std::string statsPath;                   //!< empty = no stats doc
     bool csv = false;
 };
 

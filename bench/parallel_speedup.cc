@@ -78,7 +78,9 @@ run(bench::BenchContext &ctx)
               << " parallel cells are bit-identical to the serial "
                  "sweep; the re-run was\nserved entirely from the "
                  "result cache ("
-              << cache.hits() << " hits).\n";
+              << cache.hits() << " hits).\n\n";
+    cache.statGroup().dump(std::cout);
+    par.statGroup().dump(std::cout);
 
     const unsigned cores = std::thread::hardware_concurrency();
     std::cout << "Host reports " << cores

@@ -13,6 +13,7 @@
 #include "imagine/kernels_imagine.hh"
 #include "ppc/kernels_ppc.hh"
 #include "raw/kernels_raw.hh"
+#include "sim/metrics.hh"
 #include "viram/kernels_viram.hh"
 
 using namespace triarch;
@@ -35,6 +36,8 @@ run(bench::BenchContext &ctx)
         const Cycles c = viram::cornerTurnViram(m, src, dst);
         std::cout << "viram.cycles " << c << "\n";
         m.statGroup().dump(std::cout);
+        metrics::MetricsRegistry::global().capture(m.statGroup(),
+                                                   "viram.ct");
     }
     {
         std::cout << "\n==== Imagine, CSLC (" << cfg.cslc.subBands
@@ -46,6 +49,8 @@ run(bench::BenchContext &ctx)
         const Cycles c = imagine::cslcImagine(m, cfg.cslc, in, w, out);
         std::cout << "imagine.cycles " << c << "\n";
         m.statGroup().dump(std::cout);
+        metrics::MetricsRegistry::global().capture(m.statGroup(),
+                                                   "imagine.cslc");
     }
     {
         std::cout << "\n==== Raw, CSLC (" << cfg.cslc.subBands
@@ -59,6 +64,8 @@ run(bench::BenchContext &ctx)
                   << "\nraw.balanced_cycles " << r.balancedCycles
                   << "\n";
         m.statGroup().dump(std::cout);
+        metrics::MetricsRegistry::global().capture(m.statGroup(),
+                                                   "raw.cslc");
         std::cout << "raw.tile_instructions:";
         for (unsigned t = 0; t < m.config().tiles(); ++t)
             std::cout << " " << m.tileInstructions(t);
@@ -73,6 +80,8 @@ run(bench::BenchContext &ctx)
             ppc::beamSteeringPpc(m, cfg.beam, tables, out, true);
         std::cout << "ppc.cycles " << c << "\n";
         m.statGroup().dump(std::cout);
+        metrics::MetricsRegistry::global().capture(m.statGroup(),
+                                                   "altivec.bs");
     }
     return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "sim/bitutil.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace triarch::imagine
 {
@@ -34,6 +35,8 @@ ImagineMachine::ImagineMachine(const ImagineConfig &machine_config)
     group.addScalar("stream_ops", &_streamOps, "stream load/store ops");
     group.addScalar("desc_stalls", &_descStalls,
                     "issues stalled on stream descriptor registers");
+    group.addAverage("avg_kernel_ii", &_avgKernelIi,
+                     "mean initiation interval per kernel invocation");
 }
 
 Addr
@@ -139,6 +142,7 @@ void
 ImagineMachine::loadStream(const StreamRef &ref,
                            const MemPattern &pattern)
 {
+    trace::TraceScope scope("imagine.load_stream", "imagine", &group);
     triarch_assert(pattern.totalWords() == ref.words,
                    "stream/pattern length mismatch");
     triarch_assert(pattern.base
@@ -184,6 +188,7 @@ void
 ImagineMachine::storeStream(const StreamRef &ref,
                             const MemPattern &pattern)
 {
+    trace::TraceScope scope("imagine.store_stream", "imagine", &group);
     triarch_assert(pattern.totalWords() == ref.words,
                    "stream/pattern length mismatch");
 
@@ -239,6 +244,8 @@ ImagineMachine::runKernel(const KernelDesc &desc,
                           std::initializer_list<const StreamRef *> outputs,
                           const std::function<void()> &fn)
 {
+    trace::TraceScope scope(desc.name.c_str(), "imagine", &group);
+
     // Functional execution against current SRF contents.
     fn();
 
@@ -264,6 +271,7 @@ ImagineMachine::runKernel(const KernelDesc &desc,
     lastFinish = std::max(lastFinish, finish);
 
     _clusterBusy += busy;
+    _avgKernelIi.sample(static_cast<double>(ii));
     _usefulFlops += desc.usefulFlops;
     _commOps += static_cast<std::uint64_t>(desc.comm) * desc.iterations
                 * cfg.clusters;

@@ -185,6 +185,7 @@ class ImagineMachine
     stats::Scalar _kernels;
     stats::Scalar _streamOps;
     stats::Scalar _descStalls;
+    stats::Average _avgKernelIi;
 };
 
 } // namespace triarch::imagine

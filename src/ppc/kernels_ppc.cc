@@ -5,6 +5,7 @@
 #include "kernels/fft.hh"
 #include "sim/bitutil.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace triarch::ppc
 {
@@ -46,6 +47,8 @@ cornerTurnPpc(PpcMachine &machine, const kernels::WordMatrix &src,
     };
 
     for (unsigned br = 0; br < rows; br += blockEdge) {
+        trace::TraceScope span("ppc.ct.block_row", "ppc",
+                               &machine.statGroup());
         const unsigned rEnd = std::min(br + blockEdge, rows);
         for (unsigned bc = 0; bc < cols; bc += blockEdge) {
             const unsigned cEnd = std::min(bc + blockEdge, cols);
@@ -218,6 +221,8 @@ cslcPpc(PpcMachine &machine, const kernels::CslcConfig &cfg,
     };
 
     for (unsigned b = 0; b < cfg.subBands; ++b) {
+        trace::TraceScope span("ppc.cslc.subband", "ppc",
+                               &machine.statGroup());
         const unsigned off = b * cfg.subBandStride;
 
         // Extract + transform every channel into scratch spectra.
@@ -332,6 +337,8 @@ beamSteeringPpc(PpcMachine &machine, const kernels::BeamConfig &cfg,
 
     std::size_t idx = 0;
     for (unsigned dw = 0; dw < cfg.dwells; ++dw) {
+        trace::TraceScope span("ppc.bs.dwell", "ppc",
+                               &machine.statGroup());
         for (unsigned dir = 0; dir < cfg.directions; ++dir) {
             std::int32_t acc = tables.steerBase[dir];
             for (unsigned e = 0; e < cfg.elements; ++e) {

@@ -6,6 +6,7 @@
 #include "raw/assembler.hh"
 #include "sim/bitutil.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace triarch::raw
 {
@@ -81,6 +82,7 @@ Cycles
 cornerTurnRaw(RawMachine &machine, const kernels::WordMatrix &src,
               kernels::WordMatrix &dst)
 {
+    trace::TraceScope setup("raw.ct.setup", "raw");
     constexpr unsigned edge = cornerTurnBlock;
     triarch_assert(src.rows == src.cols && src.rows % edge == 0,
                    "Raw corner turn needs a square matrix, rows % 64 == 0");
@@ -122,8 +124,13 @@ cornerTurnRaw(RawMachine &machine, const kernels::WordMatrix &src,
                            cornerTurnProgram(blocksPerTile[t] * grid));
     }
 
+    setup.end();
+    trace::TraceScope runScope("raw.ct.run", "raw",
+                               &machine.statGroup());
     const Cycles cycles = machine.run();
+    runScope.end();
 
+    trace::TraceScope readback("raw.ct.readback", "raw");
     dst = kernels::WordMatrix(n, n);
     auto words = machine.peekGlobal(dstBase,
                                     static_cast<std::size_t>(n) * n);
@@ -374,6 +381,7 @@ cslcRaw(RawMachine &machine, const kernels::CslcConfig &cfg,
         const kernels::CslcWeights &weights, kernels::CslcOutput &out,
         unsigned intervals)
 {
+    trace::TraceScope setup("raw.cslc.setup", "raw");
     triarch_assert(intervals >= 1, "need at least one interval");
     triarch_assert(cfg.subBandLen == 128,
                    "Raw CSLC mapping is built for 128-point sub-bands");
@@ -504,8 +512,13 @@ cslcRaw(RawMachine &machine, const kernels::CslcConfig &cfg,
         machine.setProgram(t, as.finish());
     }
 
+    setup.end();
+    trace::TraceScope runScope("raw.cslc.run", "raw",
+                               &machine.statGroup());
     const Cycles cycles = machine.run();
+    runScope.end();
 
+    trace::TraceScope readback("raw.cslc.readback", "raw");
     RawCslcResult result;
     result.cycles = cycles;
     // Section 4.3: report perfect-load-balance extrapolation; in a
@@ -622,6 +635,7 @@ cslcRawStreamed(RawMachine &machine, const kernels::CslcConfig &cfg,
                 const kernels::CslcWeights &weights,
                 kernels::CslcOutput &out)
 {
+    trace::TraceScope setup("raw.cslc_stream.setup", "raw");
     triarch_assert(cfg.subBandLen == 128,
                    "Raw CSLC mapping is built for 128-point sub-bands");
     triarch_assert(cfg.mainChannels == 2 && cfg.auxChannels == 2,
@@ -744,8 +758,13 @@ cslcRawStreamed(RawMachine &machine, const kernels::CslcConfig &cfg,
         machine.setProgram(t, as.finish());
     }
 
+    setup.end();
+    trace::TraceScope runScope("raw.cslc_stream.run", "raw",
+                               &machine.statGroup());
     const Cycles cycles = machine.run();
+    runScope.end();
 
+    trace::TraceScope readback("raw.cslc_stream.readback", "raw");
     RawCslcResult result;
     result.cycles = cycles;
     const double meanSets = static_cast<double>(cfg.subBands) / tiles;
@@ -779,6 +798,7 @@ beamSteeringRaw(RawMachine &machine, const kernels::BeamConfig &cfg,
                 const kernels::BeamTables &tables,
                 std::vector<std::int32_t> &out)
 {
+    trace::TraceScope setup("raw.bs.setup", "raw");
     const unsigned tiles = machine.config().tiles();
 
     // Calibration tables laid out interleaved (coarse, fine) pairs
@@ -881,8 +901,13 @@ beamSteeringRaw(RawMachine &machine, const kernels::BeamConfig &cfg,
         machine.setProgram(t, as.finish());
     }
 
+    setup.end();
+    trace::TraceScope runScope("raw.bs.run", "raw",
+                               &machine.statGroup());
     const Cycles cycles = machine.run();
+    runScope.end();
 
+    trace::TraceScope readback("raw.bs.readback", "raw");
     auto words = machine.peekGlobal(outBase, cfg.outputs());
     out.resize(words.size());
     for (std::size_t i = 0; i < words.size(); ++i)

@@ -36,6 +36,9 @@ RawMachine::RawMachine(const RawConfig &machine_config)
     group.addScalar("dma_out_words", &_wordsDmaOut,
                     "words streamed out");
     group.addScalar("cycles", &_cycles, "total machine cycles");
+    group.addDistribution("tile_instr_share", &_tileShare,
+                          "per-tile instructions relative to the "
+                          "busiest tile");
 }
 
 Addr
@@ -517,6 +520,18 @@ RawMachine::run()
         }
     }
     _cycles.set(now);
+
+    // Load-balance fingerprint: each tile's instruction count
+    // relative to the busiest tile.
+    std::uint64_t busiest = 0;
+    for (const Tile &t : tileState)
+        busiest = std::max(busiest, t.instrs);
+    if (busiest > 0) {
+        for (const Tile &t : tileState) {
+            _tileShare.sample(static_cast<double>(t.instrs)
+                              / static_cast<double>(busiest));
+        }
+    }
     return now;
 }
 

@@ -187,6 +187,10 @@ class RawMachine
     stats::Scalar _wordsDmaIn;
     stats::Scalar _wordsDmaOut;
     stats::Scalar _cycles;
+    /** Per-tile instruction share of the busiest tile, sampled once
+     *  per tile per run(); hi is 1.1 so a share of exactly 1.0 lands
+     *  in the top bucket instead of the overflow counter. */
+    stats::Distribution _tileShare{0.0, 1.1, 11};
 };
 
 } // namespace triarch::raw

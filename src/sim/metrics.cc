@@ -1,0 +1,185 @@
+#include "metrics.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace triarch::metrics
+{
+
+namespace
+{
+
+/** JSON string escape (control characters, quotes, backslash). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                std::ostringstream os;
+                os << "\\u" << std::hex << std::setw(4)
+                   << std::setfill('0') << static_cast<int>(c);
+                out += os.str();
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Render a double with enough digits to round-trip. */
+std::string
+jsonNumber(double v)
+{
+    std::ostringstream os;
+    os << std::setprecision(17) << v;
+    return os.str();
+}
+
+GroupSnapshot
+snapshotOf(const stats::StatGroup &group)
+{
+    return {group.name(), group.scalarReadings(),
+            group.averageReadings(), group.distributionReadings()};
+}
+
+void
+writeGroup(std::ostream &os, const std::string &label,
+           const GroupSnapshot &snap)
+{
+    os << "    {\"label\": \"" << jsonEscape(label)
+       << "\", \"group\": \"" << jsonEscape(snap.group) << "\",\n";
+
+    os << "     \"scalars\": {";
+    for (std::size_t i = 0; i < snap.scalars.size(); ++i) {
+        os << (i ? ", " : "") << "\""
+           << jsonEscape(snap.scalars[i].name)
+           << "\": " << snap.scalars[i].value;
+    }
+    os << "},\n";
+
+    os << "     \"averages\": {";
+    for (std::size_t i = 0; i < snap.averages.size(); ++i) {
+        const auto &a = snap.averages[i];
+        os << (i ? ", " : "") << "\"" << jsonEscape(a.name)
+           << "\": {\"mean\": " << jsonNumber(a.mean)
+           << ", \"samples\": " << a.samples << "}";
+    }
+    os << "},\n";
+
+    os << "     \"distributions\": {";
+    for (std::size_t i = 0; i < snap.distributions.size(); ++i) {
+        const auto &d = snap.distributions[i];
+        os << (i ? ", " : "") << "\"" << jsonEscape(d.name)
+           << "\": {\"low\": " << jsonNumber(d.low)
+           << ", \"high\": " << jsonNumber(d.high)
+           << ", \"mean\": " << jsonNumber(d.mean)
+           << ", \"samples\": " << d.samples
+           << ", \"under\": " << d.under << ", \"over\": " << d.over
+           << ", \"buckets\": [";
+        for (std::size_t b = 0; b < d.buckets.size(); ++b)
+            os << (b ? ", " : "") << d.buckets[b];
+        os << "]}";
+    }
+    os << "}}";
+}
+
+} // namespace
+
+void
+MetricsRegistry::registerLive(const stats::StatGroup *group)
+{
+    triarch_assert(group != nullptr, "null live stat group");
+    std::lock_guard<std::mutex> lock(mu);
+    if (std::find(live.begin(), live.end(), group) == live.end())
+        live.push_back(group);
+}
+
+void
+MetricsRegistry::unregisterLive(const stats::StatGroup *group)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    live.erase(std::remove(live.begin(), live.end(), group),
+               live.end());
+}
+
+void
+MetricsRegistry::capture(const stats::StatGroup &group,
+                         const std::string &label)
+{
+    GroupSnapshot snap = snapshotOf(group);
+    std::lock_guard<std::mutex> lock(mu);
+    snapshots.insert_or_assign(label, std::move(snap));
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return snapshots.size() + live.size();
+}
+
+void
+MetricsRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    snapshots.clear();
+    live.clear();
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    // Merge live groups (read now) into the snapshot map so the
+    // document comes out in one label-sorted sweep regardless of
+    // registration order.
+    std::map<std::string, GroupSnapshot> merged;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        merged = snapshots;
+        for (const stats::StatGroup *g : live)
+            merged.insert_or_assign(g->name(), snapshotOf(*g));
+    }
+
+    os << "{\n  \"schema\": \"triarch.stats.v1\",\n";
+    os << "  \"groups\": [\n";
+    std::size_t i = 0;
+    for (const auto &[label, snap] : merged) {
+        writeGroup(os, label, snap);
+        os << (++i < merged.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+void
+MetricsRegistry::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        triarch_fatal("cannot open '", path, "' for writing");
+    writeJson(os);
+    if (!os.good())
+        triarch_fatal("failed writing stats JSON to '", path, "'");
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace triarch::metrics

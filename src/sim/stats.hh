@@ -111,7 +111,7 @@ class Distribution
     Distribution() : Distribution(0.0, 1.0, 1) {}
 
     Distribution(double lo, double hi, unsigned nbuckets)
-        : low(lo), high(hi), buckets(nbuckets, 0)
+        : _low(lo), _high(hi), buckets(nbuckets, 0)
     {
     }
 
@@ -121,17 +121,29 @@ class Distribution
     {
         ++n;
         sum += v;
-        if (v < low) {
+        if (v < _low) {
             ++underflow;
-        } else if (v >= high) {
+        } else if (v >= _high) {
             ++overflow;
         } else {
             auto idx = static_cast<std::size_t>(
-                (v - low) / (high - low) * buckets.size());
+                (v - _low) / (_high - _low) * buckets.size());
             if (idx >= buckets.size())
                 idx = buckets.size() - 1;
             ++buckets[idx];
         }
+    }
+
+    /** Zero every bucket and tally; the bucket layout is kept. */
+    void
+    reset()
+    {
+        for (auto &b : buckets)
+            b = 0;
+        underflow = 0;
+        overflow = 0;
+        n = 0;
+        sum = 0.0;
     }
 
     std::uint64_t samples() const { return n; }
@@ -140,15 +152,48 @@ class Distribution
     std::uint64_t under() const { return underflow; }
     std::uint64_t over() const { return overflow; }
     std::size_t numBuckets() const { return buckets.size(); }
+    double low() const { return _low; }
+    double high() const { return _high; }
 
   private:
-    double low;
-    double high;
+    double _low;
+    double _high;
     std::vector<std::uint64_t> buckets;
     std::uint64_t underflow = 0;
     std::uint64_t overflow = 0;
     std::uint64_t n = 0;
     double sum = 0.0;
+};
+
+/** Snapshot of one scalar (plain or atomic) for serialization. */
+struct ScalarReading
+{
+    std::string name;
+    std::string desc;
+    std::uint64_t value;
+};
+
+/** Snapshot of one average for serialization. */
+struct AverageReading
+{
+    std::string name;
+    std::string desc;
+    double mean;
+    std::uint64_t samples;
+};
+
+/** Snapshot of one distribution for serialization. */
+struct DistributionReading
+{
+    std::string name;
+    std::string desc;
+    double low;
+    double high;
+    double mean;
+    std::uint64_t samples;
+    std::uint64_t under;
+    std::uint64_t over;
+    std::vector<std::uint64_t> buckets;
 };
 
 /**
@@ -170,35 +215,66 @@ class StatGroup
     void addScalar(const std::string &stat_name, Scalar *s,
                    const std::string &desc = "");
 
+    /** Register a cross-thread atomic scalar under @p stat_name. */
+    void addAtomicScalar(const std::string &stat_name, AtomicScalar *s,
+                         const std::string &desc = "");
+
     /** Register an average under @p stat_name. */
     void addAverage(const std::string &stat_name, Average *a,
                     const std::string &desc = "");
 
-    /** Value of a registered scalar; panics on unknown names. */
+    /** Register a distribution under @p stat_name. */
+    void addDistribution(const std::string &stat_name, Distribution *d,
+                         const std::string &desc = "");
+
+    /** Value of a registered scalar (plain or atomic); panics on
+     *  unknown names. */
     std::uint64_t scalar(const std::string &stat_name) const;
 
     /** Mean of a registered average; panics on unknown names. */
     double average(const std::string &stat_name) const;
 
-    /** True if a scalar with this name was registered. */
+    /** A registered distribution; panics on unknown names. */
+    const Distribution &distribution(const std::string &stat_name) const;
+
+    /** True if a scalar (plain or atomic) with this name was
+     *  registered. */
     bool hasScalar(const std::string &stat_name) const;
 
     /** Reset every registered stat to zero. */
     void resetAll();
 
-    /** Render "group.stat value  # desc" lines. */
+    /** Render "group.stat value  # desc" lines (all stat kinds). */
     void dump(std::ostream &os) const;
 
     const std::string &name() const { return _name; }
 
-    /** Names of all registered scalars, in registration order. */
+    /** Names of all registered scalars (plain then atomic), in
+     *  registration order. */
     std::vector<std::string> scalarNames() const;
+
+    /** Snapshots of all scalars (plain then atomic), in
+     *  registration order. */
+    std::vector<ScalarReading> scalarReadings() const;
+
+    /** Snapshots of all averages, in registration order. */
+    std::vector<AverageReading> averageReadings() const;
+
+    /** Snapshots of all distributions, in registration order. */
+    std::vector<DistributionReading> distributionReadings() const;
 
   private:
     struct ScalarEntry
     {
         std::string name;
         Scalar *stat;
+        std::string desc;
+    };
+
+    struct AtomicEntry
+    {
+        std::string name;
+        AtomicScalar *stat;
         std::string desc;
     };
 
@@ -209,9 +285,18 @@ class StatGroup
         std::string desc;
     };
 
+    struct DistributionEntry
+    {
+        std::string name;
+        Distribution *stat;
+        std::string desc;
+    };
+
     std::string _name;
     std::vector<ScalarEntry> scalars;
+    std::vector<AtomicEntry> atomics;
     std::vector<AverageEntry> averages;
+    std::vector<DistributionEntry> distributions;
 };
 
 } // namespace triarch::stats

@@ -1,0 +1,238 @@
+#include "trace.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace triarch::trace
+{
+
+std::atomic<TraceSession *> TraceSession::activeSession{nullptr};
+
+namespace
+{
+
+/** JSON string escape (quotes, backslash, control characters). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                std::ostringstream os;
+                os << "\\u" << std::hex << std::setw(4)
+                   << std::setfill('0') << static_cast<int>(c);
+                out += os.str();
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Render a double without locale surprises, round-trippable. */
+std::string
+jsonNumber(double v)
+{
+    std::ostringstream os;
+    os << std::setprecision(17) << v;
+    return os.str();
+}
+
+/** Render span args ({"a": 1, ...}) from name/value pairs. */
+std::string
+renderArgs(const std::vector<Arg> &args)
+{
+    if (args.empty())
+        return {};
+    std::string out = "{";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += "\"" + jsonEscape(args[i].first)
+               + "\": " + jsonNumber(args[i].second);
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace
+
+TraceSession::TraceSession() : epoch(std::chrono::steady_clock::now())
+{
+}
+
+TraceSession::~TraceSession()
+{
+    if (running())
+        stop();
+}
+
+void
+TraceSession::start()
+{
+    TraceSession *expected = nullptr;
+    if (!activeSession.compare_exchange_strong(
+            expected, this, std::memory_order_acq_rel)) {
+        triarch_panic("a trace session is already active");
+    }
+    nameThread("main");
+}
+
+void
+TraceSession::stop()
+{
+    TraceSession *expected = this;
+    activeSession.compare_exchange_strong(expected, nullptr,
+                                          std::memory_order_acq_rel);
+}
+
+bool
+TraceSession::running() const
+{
+    return activeSession.load(std::memory_order_acquire) == this;
+}
+
+double
+TraceSession::nowUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+unsigned
+TraceSession::laneLocked()
+{
+    const auto id = std::this_thread::get_id();
+    auto it = lanes.find(id);
+    if (it == lanes.end())
+        it = lanes.emplace(id, static_cast<unsigned>(lanes.size())).first;
+    return it->second;
+}
+
+void
+TraceSession::span(const std::string &name, const char *category,
+                   double start_us, double duration_us,
+                   const std::vector<Arg> &args)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    buffer.push_back({name, category, 'X', laneLocked(), start_us,
+                      duration_us, 0.0, renderArgs(args)});
+}
+
+void
+TraceSession::counter(const std::string &name, double value)
+{
+    const double ts = nowUs();
+    std::lock_guard<std::mutex> lock(mu);
+    buffer.push_back({name, "counter", 'C', laneLocked(), ts, 0.0,
+                      value, {}});
+}
+
+void
+TraceSession::nameThread(const std::string &thread_name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    laneNames[laneLocked()] = thread_name;
+}
+
+std::size_t
+TraceSession::events() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return buffer.size();
+}
+
+void
+TraceSession::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+    os << "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, "
+          "\"tid\": 0, \"args\": {\"name\": \"triarch\"}}";
+    for (const auto &[lane, lane_name] : laneNames) {
+        os << ",\n{\"ph\": \"M\", \"name\": \"thread_name\", "
+              "\"pid\": 1, \"tid\": "
+           << lane << ", \"args\": {\"name\": \""
+           << jsonEscape(lane_name) << "\"}}";
+    }
+    for (const Event &e : buffer) {
+        os << ",\n{\"name\": \"" << jsonEscape(e.name)
+           << "\", \"cat\": \"" << e.category << "\", \"ph\": \""
+           << e.phase << "\", \"pid\": 1, \"tid\": " << e.lane
+           << ", \"ts\": " << jsonNumber(e.ts);
+        if (e.phase == 'X')
+            os << ", \"dur\": " << jsonNumber(e.dur);
+        if (e.phase == 'C') {
+            os << ", \"args\": {\"value\": " << jsonNumber(e.value)
+               << "}";
+        } else if (!e.args.empty()) {
+            os << ", \"args\": " << e.args;
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+void
+TraceSession::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        triarch_fatal("cannot open '", path, "' for writing");
+    writeJson(os);
+    if (!os.good())
+        triarch_fatal("failed writing trace JSON to '", path, "'");
+}
+
+TraceScope::TraceScope(const char *scope_name, const char *cat,
+                       const stats::StatGroup *deltas)
+    : sess(TraceSession::active()), name(scope_name), category(cat),
+      group(deltas)
+{
+    if (!sess)
+        return;
+    startUs = sess->nowUs();
+    if (group) {
+        for (const auto &stat_name : group->scalarNames())
+            snapshot.emplace_back(stat_name, group->scalar(stat_name));
+    }
+}
+
+TraceScope::~TraceScope()
+{
+    end();
+}
+
+void
+TraceScope::end()
+{
+    if (!sess)
+        return;
+    const double endUs = sess->nowUs();
+    std::vector<Arg> args;
+    for (const auto &[stat_name, before] : snapshot) {
+        const std::uint64_t after = group->scalar(stat_name);
+        if (after != before) {
+            args.emplace_back(stat_name + "_delta",
+                              static_cast<double>(after - before));
+        }
+    }
+    sess->span(name, category, startUs, endUs - startUs, args);
+    sess = nullptr;
+}
+
+} // namespace triarch::trace

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Cycle-attribution tracing: a thread-safe TraceSession collecting
+ * Chrome trace-event JSON (loadable in chrome://tracing and
+ * Perfetto) with span ("ph":"X") and counter ("ph":"C") events, and
+ * an RAII TraceScope helper that tags each span with the deltas of a
+ * StatGroup's scalar counters across the scope.
+ *
+ * Instrumentation sites stay in the simulator hot paths permanently;
+ * the whole subsystem reduces to a single relaxed atomic load and
+ * one branch when no session is active, and the disabled path
+ * performs no allocation. Exactly one session can be active at a
+ * time (started with TraceSession::start(), removed with stop());
+ * events carry wall-clock microseconds since session construction
+ * and land on a per-thread lane assigned in arrival order.
+ *
+ * Timestamps are wall-clock, so trace files are NOT deterministic
+ * across runs or thread counts — attribution of *where time went*
+ * is inherently a measurement. Deterministic observability lives in
+ * metrics.hh (the triarch.stats.v1 document).
+ */
+
+#ifndef TRIARCH_SIM_TRACE_HH
+#define TRIARCH_SIM_TRACE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace triarch::trace
+{
+
+/** One numeric span argument: name plus value. */
+using Arg = std::pair<std::string, double>;
+
+class TraceSession
+{
+  public:
+    TraceSession();
+    ~TraceSession();
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    /** Install as the process-wide active session; panics if some
+     *  other session is already active. */
+    void start();
+
+    /**
+     * Remove from the active slot; buffered events survive for
+     * writeJson(). Instrumented code that grabbed the session
+     * pointer before stop() may still append events — the buffer
+     * stays valid until destruction — so stop the session only
+     * after in-flight runners have drained.
+     */
+    void stop();
+
+    /** True while this session is the active one. */
+    bool running() const;
+
+    /** Microseconds since this session was constructed. */
+    double nowUs() const;
+
+    /** Emit a complete span on the calling thread's lane. */
+    void span(const std::string &name, const char *category,
+              double start_us, double duration_us,
+              const std::vector<Arg> &args = {});
+
+    /** Emit a counter sample (current wall clock, calling lane). */
+    void counter(const std::string &name, double value);
+
+    /** Name the calling thread's lane in the rendered trace. */
+    void nameThread(const std::string &thread_name);
+
+    /** Number of buffered events (metadata excluded). */
+    std::size_t events() const;
+
+    /** Render the Chrome trace-event document (one event per line). */
+    void writeJson(std::ostream &os) const;
+
+    /** Render to @p path; fatal if the file cannot be written. */
+    void writeJsonFile(const std::string &path) const;
+
+    /** The active session, or nullptr when tracing is off. */
+    static TraceSession *
+    active()
+    {
+        return activeSession.load(std::memory_order_acquire);
+    }
+
+    /** The compiled-in fast path: one load + one branch. */
+    static bool
+    enabled()
+    {
+        return activeSession.load(std::memory_order_relaxed) != nullptr;
+    }
+
+  private:
+    struct Event
+    {
+        std::string name;
+        const char *category;
+        char phase;         //!< 'X' span or 'C' counter
+        unsigned lane;
+        double ts;          //!< microseconds since session epoch
+        double dur;         //!< spans only
+        double value;       //!< counters only
+        std::string args;   //!< prerendered JSON object body, or ""
+    };
+
+    /** Lane id for the calling thread (assigned in arrival order);
+     *  callers must hold @ref mu. */
+    unsigned laneLocked();
+
+    static std::atomic<TraceSession *> activeSession;
+
+    const std::chrono::steady_clock::time_point epoch;
+
+    mutable std::mutex mu;
+    std::vector<Event> buffer;
+    std::map<std::thread::id, unsigned> lanes;
+    std::map<unsigned, std::string> laneNames;
+};
+
+/**
+ * RAII span helper: opens at construction, emits one complete event
+ * on the calling thread's lane at destruction. When constructed with
+ * a StatGroup, the scalar counters are snapshotted and every counter
+ * that moved during the scope is attached to the span's args as
+ * "<name>_delta" — this is how machine-model phase spans carry their
+ * cycle attribution.
+ *
+ * When no session is active the constructor is one branch and the
+ * object holds only trivially-constructed members (no allocation).
+ */
+class TraceScope
+{
+  public:
+    explicit TraceScope(const char *name, const char *category = "sim",
+                        const stats::StatGroup *deltas = nullptr);
+    ~TraceScope();
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+    /** Emit the span now instead of at destruction (idempotent) —
+     *  lets sequential phases of one function share a scope slot. */
+    void end();
+
+  private:
+    TraceSession *sess;         //!< nullptr = disabled, do nothing
+    const char *name;
+    const char *category;
+    const stats::StatGroup *group;
+    double startUs = 0.0;
+    std::vector<std::pair<std::string, std::uint64_t>> snapshot;
+};
+
+/** Emit a counter sample on the active session, if any. */
+inline void
+counter(const std::string &name, double value)
+{
+    if (TraceSession *sess = TraceSession::active())
+        sess->counter(name, value);
+}
+
+} // namespace triarch::trace
+
+#endif // TRIARCH_SIM_TRACE_HH

@@ -1,9 +1,13 @@
 #include "parallel.hh"
 
 #include <atomic>
+#include <string>
 #include <thread>
 
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
+#include "sim/trace.hh"
+#include "study/machine_info.hh"
 #include "study/registry.hh"
 
 namespace triarch::study
@@ -38,9 +42,25 @@ ParallelRunner::ParallelRunner(StudyConfig run_config,
       cache(cache),
       work(buildWorkloads(cfg))
 {
+    schedGroup.addAtomicScalar("batches", &nBatches,
+                               "cell batches submitted");
+    schedGroup.addAtomicScalar("cells_run", &nCellsRun,
+                               "cells executed by workers");
+    schedGroup.addAtomicScalar("cells_cached", &nCellsCached,
+                               "cells served from the result cache");
+    schedGroup.addAtomicScalar("cells_missing", &nCellsMissing,
+                               "cells with no registered mapping");
+    metrics::MetricsRegistry::global().registerLive(&schedGroup);
 }
 
-ParallelRunner::~ParallelRunner() = default;
+ParallelRunner::~ParallelRunner()
+{
+    // Keep the final counts visible in --stats documents written
+    // after the runner is gone.
+    metrics::MetricsRegistry::global().capture(schedGroup,
+                                               "scheduler");
+    metrics::MetricsRegistry::global().unregisterLive(&schedGroup);
+}
 
 RunOutcome
 ParallelRunner::tryRun(MachineId machine, KernelId kernel)
@@ -80,24 +100,51 @@ ParallelRunner::tryRunCells(const std::vector<Cell> &cells)
     std::vector<RunOutcome> outcomes(cells.size(),
                                      RunOutcome{MappingError{}});
 
+    // Grab the session once so every event in this batch goes to the
+    // same place even if tracing stops mid-batch.
+    trace::TraceSession *ts = trace::TraceSession::active();
+    const double batchStartUs = ts ? ts->nowUs() : 0.0;
+    ++nBatches;
+
+    auto cellLabel = [](const Cell &cell) {
+        return machineToken(cell.machine) + "/"
+               + kernelToken(cell.kernel);
+    };
+
     // Serve what the cache already has; queue the rest.
     std::vector<std::size_t> pending;
     for (std::size_t i = 0; i < cells.size(); ++i) {
         if (cache) {
+            const double lookupUs = ts ? ts->nowUs() : 0.0;
             if (auto hit = cache->get(cells[i].machine,
                                       cells[i].kernel, cfgHash)) {
                 outcomes[i] = std::move(*hit);
+                ++nCellsCached;
+                if (ts) {
+                    ts->span(cellLabel(cells[i]), "cell", lookupUs,
+                             ts->nowUs() - lookupUs,
+                             {{"cached", 1.0}});
+                }
                 continue;
             }
         }
         pending.push_back(i);
+    }
+    if (ts && cache) {
+        ts->counter("cache.hits",
+                    static_cast<double>(cache->hits()));
+        ts->counter("cache.misses",
+                    static_cast<double>(cache->misses()));
     }
     if (pending.empty())
         return outcomes;
 
     // Each worker claims queue slots with an atomic ticket; results
     // land in the outcome slot of their cell, so the output order is
-    // scheduling-independent.
+    // scheduling-independent. When tracing, each executed cell gets
+    // a span on its worker's lane from the moment the ticket was
+    // claimed, carrying the queue wait as an arg and the raw mapping
+    // execution as a nested "execute" span.
     std::atomic<std::size_t> next{0};
     auto worker = [&]() {
         for (;;) {
@@ -107,17 +154,34 @@ ParallelRunner::tryRunCells(const std::vector<Cell> &cells)
                 return;
             const std::size_t slot = pending[ticket];
             const Cell &cell = cells[slot];
+            const double pickUs = ts ? ts->nowUs() : 0.0;
             const KernelMapping *mapping =
                 mappings->find(cell.machine, cell.kernel);
             if (!mapping) {
                 outcomes[slot] =
                     mappings->missing(cell.machine, cell.kernel);
+                ++nCellsMissing;
                 continue;
             }
+            const double execUs = ts ? ts->nowUs() : 0.0;
             RunResult result = (*mapping)(cfg, *work);
+            if (ts) {
+                ts->span("execute", "cell", execUs,
+                         ts->nowUs() - execUs);
+            }
             if (cache)
                 cache->put(result, cfgHash);
             outcomes[slot] = std::move(result);
+            ++nCellsRun;
+            if (ts) {
+                ts->span(cellLabel(cell), "cell", pickUs,
+                         ts->nowUs() - pickUs,
+                         {{"queue_wait_us", pickUs - batchStartUs}});
+                ts->counter(
+                    "scheduler.cells_done",
+                    static_cast<double>(nCellsRun.value()
+                                        + nCellsCached.value()));
+            }
         }
     };
 
@@ -137,8 +201,13 @@ ParallelRunner::tryRunCells(const std::vector<Cell> &cells)
 
     std::vector<std::thread> pool;
     pool.reserve(n);
-    for (unsigned t = 0; t < n; ++t)
-        pool.emplace_back(worker);
+    for (unsigned t = 0; t < n; ++t) {
+        pool.emplace_back([&, t]() {
+            if (ts)
+                ts->nameThread("worker-" + std::to_string(t));
+            worker();
+        });
+    }
     for (std::thread &t : pool)
         t.join();
     return outcomes;

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/stats.hh"
 #include "study/experiment.hh"
 #include "study/result_cache.hh"
 
@@ -94,6 +95,15 @@ class ParallelRunner
     /** Pass as @p cache to disable caching entirely. */
     static ResultCache *noCache() { return nullptr; }
 
+    /**
+     * Scheduler progress counters ("scheduler" group, live-registered
+     * in the global MetricsRegistry for this runner's lifetime):
+     * batches submitted, cells executed / served from cache / found
+     * unmapped. Counts only — no wall clock — so the values are
+     * identical at any worker-thread count.
+     */
+    const stats::StatGroup &statGroup() const { return schedGroup; }
+
   private:
     StudyConfig cfg;
     std::uint64_t cfgHash;
@@ -101,6 +111,12 @@ class ParallelRunner
     const MappingRegistry *mappings;
     ResultCache *cache;
     std::shared_ptr<const Workloads> work;
+
+    stats::StatGroup schedGroup{"scheduler"};
+    stats::AtomicScalar nBatches;
+    stats::AtomicScalar nCellsRun;
+    stats::AtomicScalar nCellsCached;
+    stats::AtomicScalar nCellsMissing;
 };
 
 } // namespace triarch::study

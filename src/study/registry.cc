@@ -4,6 +4,7 @@
 #include "ppc/kernels_ppc.hh"
 #include "raw/kernels_raw.hh"
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "viram/kernels_viram.hh"
 
 namespace triarch::study
@@ -65,6 +66,20 @@ cellResult(MachineId machine, KernelId kernel)
     return result;
 }
 
+/**
+ * Snapshot the machine model's stats into the global MetricsRegistry
+ * under "<machine-token>.<kernel-token>" before the model dies with
+ * its mapping. Per-cell simulation is deterministic, so re-running a
+ * cell recaptures identical values.
+ */
+void
+captureStats(stats::StatGroup &group, const RunResult &result)
+{
+    metrics::MetricsRegistry::global().capture(
+        group,
+        machineToken(result.machine) + "." + kernelToken(result.kernel));
+}
+
 // ---------------------------------------------------------------
 // PowerPC G4 (scalar and AltiVec share the mapping bodies; the
 // AltiVec flag selects the vectorized code paths).
@@ -81,11 +96,12 @@ registerPpc(MappingRegistry &r, MachineId id, bool altivec)
               result.cycles =
                   ppc::cornerTurnPpc(m, work.matrix, dst, altivec);
               result.notes.emplace_back(
-                  "mem_stall_fraction",
+                  "ppc.mem_stall_fraction",
                   static_cast<double>(m.memStallCycles())
                       / result.cycles);
               result.validated =
                   kernels::isTransposeOf(work.matrix, dst);
+              captureStats(m.statGroup(), result);
               return result;
           });
 
@@ -99,6 +115,7 @@ registerPpc(MappingRegistry &r, MachineId id, bool altivec)
                                out, altivec);
               result.validated = cslcOutputValid(
                   cfg, work, out, kernels::FftAlgo::Radix2);
+              captureStats(m.statGroup(), result);
               return result;
           });
 
@@ -111,6 +128,7 @@ registerPpc(MappingRegistry &r, MachineId id, bool altivec)
               result.cycles = ppc::beamSteeringPpc(
                   m, cfg.beam, work.tables, out, altivec);
               result.validated = out == work.beamRef;
+              captureStats(m.statGroup(), result);
               return result;
           });
 }
@@ -133,15 +151,16 @@ registerViram(MappingRegistry &r)
               result.cycles =
                   viram::cornerTurnViram(m, work.matrix, dst);
               result.notes.emplace_back(
-                  "row_overhead_fraction",
+                  "viram.row_overhead_fraction",
                   static_cast<double>(m.rowOverheadCycles())
                       / result.cycles);
               result.notes.emplace_back(
-                  "tlb_overhead_fraction",
+                  "viram.tlb_overhead_fraction",
                   static_cast<double>(m.tlbOverheadCycles())
                       / result.cycles);
               result.validated =
                   kernels::isTransposeOf(work.matrix, dst);
+              captureStats(m.statGroup(), result);
               return result;
           });
 
@@ -156,9 +175,10 @@ registerViram(MappingRegistry &r)
               result.validated = cslcOutputValid(
                   cfg, work, out, kernels::FftAlgo::Radix2);
               result.notes.emplace_back(
-                  "shuffle_fraction",
+                  "viram.shuffle_fraction",
                   static_cast<double>(m.permInstructions())
                       / m.vectorInstructions());
+              captureStats(m.statGroup(), result);
               return result;
           });
 
@@ -173,9 +193,10 @@ registerViram(MappingRegistry &r)
               const double compute =
                   static_cast<double>(m.vau0Busy() + m.vau1Busy())
                   / 2.0;
-              result.notes.emplace_back("compute_bound_fraction",
+              result.notes.emplace_back("viram.compute_bound_fraction",
                                         compute / result.cycles);
               result.validated = out == work.beamRef;
+              captureStats(m.statGroup(), result);
               return result;
           });
 }
@@ -197,10 +218,11 @@ registerImagine(MappingRegistry &r)
               kernels::WordMatrix dst;
               result.cycles =
                   imagine::cornerTurnImagine(m, work.matrix, dst);
-              result.notes.emplace_back("memory_fraction",
+              result.notes.emplace_back("imagine.memory_fraction",
                                         m.memoryFraction());
               result.validated =
                   kernels::isTransposeOf(work.matrix, dst);
+              captureStats(m.statGroup(), result);
               return result;
           });
 
@@ -214,8 +236,9 @@ registerImagine(MappingRegistry &r)
                   m, cfg.cslc, work.cslcIn, work.weights, out);
               result.validated = cslcOutputValid(
                   cfg, work, out, kernels::FftAlgo::Mixed128);
-              result.notes.emplace_back("alu_utilization",
+              result.notes.emplace_back("imagine.alu_utilization",
                                         m.aluUtilization());
+              captureStats(m.statGroup(), result);
               return result;
           });
 
@@ -227,9 +250,10 @@ registerImagine(MappingRegistry &r)
               std::vector<std::int32_t> out;
               result.cycles = imagine::beamSteeringImagine(
                   m, cfg.beam, work.tables, out);
-              result.notes.emplace_back("memory_fraction",
+              result.notes.emplace_back("imagine.memory_fraction",
                                         m.memoryFraction());
               result.validated = out == work.beamRef;
+              captureStats(m.statGroup(), result);
               return result;
           });
 }
@@ -251,11 +275,12 @@ registerRaw(MappingRegistry &r)
               kernels::WordMatrix dst;
               result.cycles = raw::cornerTurnRaw(m, work.matrix, dst);
               result.notes.emplace_back(
-                  "instr_per_cycle_per_tile",
+                  "raw.instr_per_cycle_per_tile",
                   static_cast<double>(m.instructions())
                       / result.cycles / m.config().tiles());
               result.validated =
                   kernels::isTransposeOf(work.matrix, dst);
+              captureStats(m.statGroup(), result);
               return result;
           });
 
@@ -271,18 +296,19 @@ registerRaw(MappingRegistry &r)
               result.measuredUnbalanced = r2.cycles;
               result.validated = cslcOutputValid(
                   cfg, work, out, kernels::FftAlgo::Radix2);
-              result.notes.emplace_back("idle_fraction",
+              result.notes.emplace_back("raw.idle_fraction",
                                         r2.idleFraction);
               result.notes.emplace_back(
-                  "cache_stall_fraction",
+                  "raw.cache_stall_fraction",
                   static_cast<double>(m.cacheStallCycles())
                       / (static_cast<double>(m.config().tiles())
                          * r2.cycles));
               result.notes.emplace_back(
-                  "ldst_fraction",
+                  "raw.ldst_fraction",
                   static_cast<double>(m.loadStores())
                       / (static_cast<double>(m.config().tiles())
                          * r2.cycles));
+              captureStats(m.statGroup(), result);
               return result;
           });
 
@@ -295,9 +321,10 @@ registerRaw(MappingRegistry &r)
               result.cycles =
                   raw::beamSteeringRaw(m, cfg.beam, work.tables, out);
               result.notes.emplace_back(
-                  "loads_stores",
+                  "raw.loads_stores",
                   static_cast<double>(m.loadStores()));
               result.validated = out == work.beamRef;
+              captureStats(m.statGroup(), result);
               return result;
           });
 }

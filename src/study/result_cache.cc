@@ -1,7 +1,17 @@
 #include "result_cache.hh"
 
+#include "sim/metrics.hh"
+
 namespace triarch::study
 {
+
+ResultCache::ResultCache()
+{
+    group.addAtomicScalar("hits", &nHits,
+                          "lookups served from the cache");
+    group.addAtomicScalar("misses", &nMisses,
+                          "lookups that had to recompute");
+}
 
 std::optional<RunResult>
 ResultCache::get(MachineId machine, KernelId kernel,
@@ -60,6 +70,11 @@ ResultCache &
 ResultCache::global()
 {
     static ResultCache cache;
+    static const bool registered = [] {
+        metrics::MetricsRegistry::global().registerLive(&cache.group);
+        return true;
+    }();
+    (void)registered;
     return cache;
 }
 

@@ -25,7 +25,7 @@ namespace triarch::study
 class ResultCache
 {
   public:
-    ResultCache() = default;
+    ResultCache();
 
     ResultCache(const ResultCache &) = delete;
     ResultCache &operator=(const ResultCache &) = delete;
@@ -44,7 +44,12 @@ class ResultCache
     std::uint64_t hits() const;
     std::uint64_t misses() const;
 
-    /** The process-wide cache shared by default by every runner. */
+    /** The "result_cache" group holding the hit/miss counters. */
+    const stats::StatGroup &statGroup() const { return group; }
+
+    /** The process-wide cache shared by default by every runner;
+     *  its stat group is live-registered in the global
+     *  MetricsRegistry. */
     static ResultCache &global();
 
   private:
@@ -52,6 +57,7 @@ class ResultCache
 
     mutable std::mutex mu;
     std::map<Key, RunResult> entries;
+    stats::StatGroup group{"result_cache"};
     mutable stats::AtomicScalar nHits;
     mutable stats::AtomicScalar nMisses;
 };

@@ -5,6 +5,7 @@
 #include "kernels/fft.hh"
 #include "sim/bitutil.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace triarch::viram
 {
@@ -195,6 +196,8 @@ cornerTurnViram(ViramMachine &machine, const kernels::WordMatrix &src,
     machine.setvl(rowBlock);
 
     for (unsigned bi = 0; bi < src.rows; bi += rowBlock) {
+        trace::TraceScope strip("viram.ct.strip", "viram",
+                                &machine.statGroup());
         for (unsigned c = 0; c < src.cols; ++c) {
             const Vreg v = 4 + (c % 8);     // rotate through 8 regs
             const Addr loadAddr = srcBase
@@ -316,6 +319,8 @@ cslcViram(ViramMachine &machine, const kernels::CslcConfig &cfg,
     machine.resetTiming();
 
     for (unsigned b = 0; b < cfg.subBands; ++b) {
+        trace::TraceScope subband("viram.cslc.subband", "viram",
+                                  &machine.statGroup());
         const Addr off = static_cast<Addr>(b) * cfg.subBandStride * 8;
 
         // FFT the aux channels and park their spectra in DRAM.
@@ -425,6 +430,8 @@ beamSteeringViram(ViramMachine &machine, const kernels::BeamConfig &cfg,
     constexpr Vreg vAccB = 13;
 
     for (unsigned dw = 0; dw < cfg.dwells; ++dw) {
+        trace::TraceScope dwell("viram.bs.dwell", "viram",
+                                &machine.statGroup());
         for (unsigned dir = 0; dir < cfg.directions; ++dir) {
             const std::int32_t delta = tables.steerDelta[dir];
             machine.setvl(vlen);

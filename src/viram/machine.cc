@@ -33,6 +33,8 @@ ViramMachine::ViramMachine(const ViramConfig &machine_config)
     group.addScalar("row_misses", &_rowMisses, "DRAM row misses");
     group.addScalar("perm_insts", &_perms, "shuffle instructions");
     group.addScalar("mem_words", &_memWords, "words moved to/from DRAM");
+    group.addAverage("avg_vl", &_avgVl,
+                     "mean vector length per instruction");
 }
 
 Addr
@@ -129,6 +131,7 @@ ViramMachine::issue(Unit unit, Cycles busy, Cycles startup,
     lastFinish = std::max(lastFinish, done);
 
     ++_vinsts;
+    _avgVl.sample(curVl);
     switch (unit) {
       case VAU0: _vau0Busy += busy; break;
       case VAU1: _vau1Busy += busy; break;

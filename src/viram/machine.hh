@@ -217,6 +217,7 @@ class ViramMachine
     stats::Scalar _rowMisses;
     stats::Scalar _perms;
     stats::Scalar _memWords;
+    stats::Average _avgVl;
 };
 
 } // namespace triarch::viram

@@ -173,6 +173,101 @@ TEST(Stats, GroupUnknownStatDies)
     EXPECT_DEATH(g.scalar("b"), "unknown scalar");
 }
 
+TEST(Stats, AtomicScalarRegistersLikeAScalar)
+{
+    stats::AtomicScalar hits;
+    stats::StatGroup g("cache");
+    g.addAtomicScalar("hits", &hits, "served lookups");
+    ++hits;
+    hits += 2;
+    EXPECT_TRUE(g.hasScalar("hits"));
+    EXPECT_EQ(g.scalar("hits"), 3u);
+
+    const auto names = g.scalarNames();
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "hits");
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("cache.hits 3"), std::string::npos);
+
+    g.resetAll();
+    EXPECT_EQ(g.scalar("hits"), 0u);
+}
+
+TEST(Stats, GroupRendersAveragesAndDistributions)
+{
+    stats::Average vl;
+    stats::Distribution share(0.0, 1.0, 4);
+    stats::StatGroup g("m");
+    g.addAverage("avg_vl", &vl, "mean vector length");
+    g.addDistribution("share", &share, "per-tile share");
+
+    vl.sample(32.0);
+    vl.sample(64.0);
+    share.sample(0.1);
+    share.sample(0.9);
+    share.sample(2.0);      // overflow
+
+    EXPECT_DOUBLE_EQ(g.average("avg_vl"), 48.0);
+    EXPECT_EQ(&g.distribution("share"), &share);
+
+    std::ostringstream os;
+    g.dump(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("m.avg_vl"), std::string::npos);
+    EXPECT_NE(s.find("mean vector length"), std::string::npos);
+    EXPECT_NE(s.find("m.share mean"), std::string::npos);
+    EXPECT_NE(s.find("m.share[0,0.25) 1"), std::string::npos);
+    EXPECT_NE(s.find("m.share[>=1] 1"), std::string::npos);
+
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(g.average("avg_vl"), 0.0);
+    EXPECT_EQ(share.samples(), 0u);
+    EXPECT_EQ(share.numBuckets(), 4u) << "reset keeps the layout";
+}
+
+TEST(Stats, ReadingsSnapshotEveryKind)
+{
+    stats::Scalar a;
+    stats::AtomicScalar b;
+    stats::Average avg;
+    stats::Distribution dist(0.0, 2.0, 2);
+    stats::StatGroup g("g");
+    g.addScalar("a", &a, "plain");
+    g.addAtomicScalar("b", &b, "atomic");
+    g.addAverage("avg", &avg);
+    g.addDistribution("dist", &dist);
+
+    a += 7;
+    b += 9;
+    avg.sample(1.5);
+    dist.sample(0.5);
+    dist.sample(1.5);
+
+    const auto scalars = g.scalarReadings();
+    ASSERT_EQ(scalars.size(), 2u);
+    EXPECT_EQ(scalars[0].name, "a");
+    EXPECT_EQ(scalars[0].value, 7u);
+    EXPECT_EQ(scalars[0].desc, "plain");
+    EXPECT_EQ(scalars[1].name, "b");
+    EXPECT_EQ(scalars[1].value, 9u);
+
+    const auto averages = g.averageReadings();
+    ASSERT_EQ(averages.size(), 1u);
+    EXPECT_DOUBLE_EQ(averages[0].mean, 1.5);
+    EXPECT_EQ(averages[0].samples, 1u);
+
+    const auto dists = g.distributionReadings();
+    ASSERT_EQ(dists.size(), 1u);
+    EXPECT_DOUBLE_EQ(dists[0].low, 0.0);
+    EXPECT_DOUBLE_EQ(dists[0].high, 2.0);
+    EXPECT_EQ(dists[0].samples, 2u);
+    ASSERT_EQ(dists[0].buckets.size(), 2u);
+    EXPECT_EQ(dists[0].buckets[0], 1u);
+    EXPECT_EQ(dists[0].buckets[1], 1u);
+}
+
 TEST(Logging, PanicAborts)
 {
     EXPECT_DEATH(triarch_panic("boom ", 42), "boom 42");

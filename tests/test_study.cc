@@ -342,11 +342,15 @@ TEST_F(PaperShape, Figure9ClockAdjustmentShrinksResearchSpeedups)
 
 TEST_F(PaperShape, ExplanatoryNotesMatchPaperClaims)
 {
+    // Note keys carry the owning stat-group prefix (machine token).
+    bool sawUtilization = false, sawIdle = false, sawMemory = false;
+
     // Imagine CSLC utilization ~25% (Section 4.3).
     const auto &imagineCslc =
         findResult(*results, MachineId::Imagine, KernelId::Cslc);
     for (const auto &[key, value] : imagineCslc.notes) {
-        if (key == "alu_utilization") {
+        if (key == "imagine.alu_utilization") {
+            sawUtilization = true;
             EXPECT_GT(value, 0.10);
             EXPECT_LT(value, 0.45);
         }
@@ -355,11 +359,12 @@ TEST_F(PaperShape, ExplanatoryNotesMatchPaperClaims)
     const auto &rawCslc =
         findResult(*results, MachineId::Raw, KernelId::Cslc);
     for (const auto &[key, value] : rawCslc.notes) {
-        if (key == "idle_fraction") {
+        if (key == "raw.idle_fraction") {
+            sawIdle = true;
             EXPECT_GT(value, 0.03);
             EXPECT_LT(value, 0.20);
         }
-        if (key == "cache_stall_fraction") {
+        if (key == "raw.cache_stall_fraction") {
             EXPECT_LT(value, 0.12);
         }
     }
@@ -367,10 +372,15 @@ TEST_F(PaperShape, ExplanatoryNotesMatchPaperClaims)
     const auto &imagineCt =
         findResult(*results, MachineId::Imagine, KernelId::CornerTurn);
     for (const auto &[key, value] : imagineCt.notes) {
-        if (key == "memory_fraction") {
+        if (key == "imagine.memory_fraction") {
+            sawMemory = true;
             EXPECT_GT(value, 0.6);
         }
     }
+
+    EXPECT_TRUE(sawUtilization);
+    EXPECT_TRUE(sawIdle);
+    EXPECT_TRUE(sawMemory);
 }
 
 } // namespace
