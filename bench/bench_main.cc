@@ -1,8 +1,10 @@
 #include "bench_main.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -194,19 +196,51 @@ benchMain(int argc, char **argv, const char *description,
             return argv[++i];
         };
 
-        auto needNumber = [&](const char *flag) -> std::uint64_t {
+        // Value-less flags must not be handed one via --flag=value.
+        auto noValue = [&](const char *flag) {
+            if (haveInline) {
+                std::cerr << prog << ": " << flag
+                          << " does not take a value (got '"
+                          << inlineValue << "')\n";
+                std::exit(2);
+            }
+        };
+
+        auto needNumber =
+            [&](const char *flag,
+                std::uint64_t maxValue =
+                    std::numeric_limits<std::uint64_t>::max())
+            -> std::uint64_t {
             const std::string v = needValue(flag);
+            // strtoull wraps negative input ("-1" parses as 2^64-1),
+            // so any non-digit lead byte is rejected up front.
+            if (v.empty()
+                || !std::isdigit(static_cast<unsigned char>(v[0]))) {
+                std::cerr << prog << ": " << flag
+                          << " needs a non-negative number, got '"
+                          << v << "'\n";
+                std::exit(2);
+            }
+            errno = 0;
             char *end = nullptr;
             const std::uint64_t n = std::strtoull(v.c_str(), &end, 10);
             if (end == v.c_str() || *end != '\0') {
                 std::cerr << prog << ": " << flag
-                          << " needs a number, got '" << v << "'\n";
+                          << " needs a non-negative number, got '"
+                          << v << "'\n";
+                std::exit(2);
+            }
+            if (errno == ERANGE || n > maxValue) {
+                std::cerr << prog << ": " << flag << " value '" << v
+                          << "' is out of range (max " << maxValue
+                          << ")\n";
                 std::exit(2);
             }
             return n;
         };
 
         if (arg == "--help" || arg == "-h") {
+            noValue("--help");
             usage(std::cout, prog, description);
             return 0;
         } else if (arg == "--machines") {
@@ -232,8 +266,10 @@ benchMain(int argc, char **argv, const char *description,
                 opts.kernels.push_back(id);
             }
         } else if (arg == "--threads") {
-            opts.threads =
-                static_cast<unsigned>(needNumber("--threads"));
+            // 0 stays valid (hardware concurrency, as documented in
+            // --help); the cap stops silent 32-bit truncation.
+            opts.threads = static_cast<unsigned>(needNumber(
+                "--threads", std::numeric_limits<unsigned>::max()));
         } else if (arg == "--seed") {
             opts.seed = needNumber("--seed");
         } else if (arg == "--json") {
@@ -258,6 +294,7 @@ benchMain(int argc, char **argv, const char *description,
                 return 2;
             }
         } else if (arg == "--csv") {
+            noValue("--csv");
             opts.csv = true;
         } else {
             std::cerr << prog << ": unknown option '" << arg
@@ -290,13 +327,16 @@ benchMain(int argc, char **argv, const char *description,
         }
     }
 
+    // Write the trace even when the body failed — a timeline of the
+    // run that went wrong is exactly what a trace is for.
     if (session) {
         session->stop();
-        if (rc == 0) {
-            session->writeJsonFile(opts.tracePath);
-            std::cout << "trace written to " << opts.tracePath
-                      << "\n";
-        }
+        session->writeJsonFile(opts.tracePath);
+        std::cout << "trace written to " << opts.tracePath;
+        if (rc != 0)
+            std::cout << " (bench body failed with exit code " << rc
+                      << ")";
+        std::cout << "\n";
     }
     if (rc == 0 && !opts.statsPath.empty()) {
         metrics::MetricsRegistry::global().writeJsonFile(

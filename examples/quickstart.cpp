@@ -27,6 +27,9 @@ main()
     cfg.cslc.subBands = 16;
     cfg.cslc.samples = (cfg.cslc.subBands - 1) * cfg.cslc.subBandStride
                        + cfg.cslc.subBandLen;
+    // The paper-default jammer bins sit beyond the reduced
+    // interval; keep them inside it.
+    cfg.jammerBins = {100, 900};
     cfg.beam.dwells = 2;
 
     Runner runner(cfg);

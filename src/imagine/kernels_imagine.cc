@@ -268,8 +268,16 @@ cslcImagine(ImagineMachine &machine, const kernels::CslcConfig &cfg,
                     auto a1 = readComplex(machine, auxSpec[1]);
                     auto w0 = readComplex(machine, w[0]);
                     auto w1 = readComplex(machine, w[1]);
-                    for (unsigned k = 0; k < 128; ++k)
-                        ms[k] -= w0[k] * a0[k] + w1[k] * a1[k];
+                    // Subtract the aux products one at a time, in
+                    // the reference's operation order: summing them
+                    // first rounds differently, which shows up when
+                    // a degenerate config (e.g. 2 sub-bands) lets
+                    // the canceller null the output entirely and
+                    // only rounding noise remains.
+                    for (unsigned k = 0; k < 128; ++k) {
+                        ms[k] -= w0[k] * a0[k];
+                        ms[k] -= w1[k] * a1[k];
+                    }
                     writeComplex(machine, cancelled, ms);
                 });
 
@@ -463,8 +471,13 @@ cslcImagineIndependent(ImagineMachine &machine,
                         auto s1 = readComplex(machine, a1);
                         auto w0 = readComplex(machine, w[o][0]);
                         auto w1 = readComplex(machine, w[o][1]);
-                        for (unsigned k = 0; k < 128; ++k)
-                            ms[k] -= w0[k] * s0[k] + w1[k] * s1[k];
+                        // Same operation order as the reference
+                        // (see cslcImagine above): subtract each
+                        // aux product separately.
+                        for (unsigned k = 0; k < 128; ++k) {
+                            ms[k] -= w0[k] * s0[k];
+                            ms[k] -= w1[k] * s1[k];
+                        }
                         writeComplex(machine, cancelled[o], ms);
                     });
             }

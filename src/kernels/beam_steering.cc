@@ -29,9 +29,22 @@ makeBeamTables(const BeamConfig &cfg, std::uint64_t seed)
     return t;
 }
 
+std::optional<std::string>
+beamShapeError(const BeamConfig &cfg)
+{
+    if (cfg.shift >= 32) {
+        return "shift must be < 32: shifting the 32-bit phase "
+               "accumulator by "
+               + std::to_string(cfg.shift) + " is undefined";
+    }
+    return std::nullopt;
+}
+
 std::vector<std::int32_t>
 beamSteerReference(const BeamConfig &cfg, const BeamTables &tables)
 {
+    if (auto err = beamShapeError(cfg))
+        triarch_panic("bad BeamConfig: ", *err);
     triarch_assert(tables.calCoarse.size() == cfg.elements,
                    "table shape mismatch");
     std::vector<std::int32_t> out(cfg.outputs());

@@ -15,6 +15,8 @@
 #define TRIARCH_KERNELS_BEAM_STEERING_HH
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 namespace triarch::kernels
@@ -34,7 +36,20 @@ struct BeamConfig
         return static_cast<std::uint64_t>(elements) * directions
                * dwells;
     }
+
+    friend bool operator==(const BeamConfig &,
+                           const BeamConfig &) = default;
 };
+
+/**
+ * Why the reference computation is undefined for @p cfg, or nullopt
+ * if it is sound. Zero-sized dimensions are well-defined (the output
+ * is empty), but a shift of 32 or more on the 32-bit phase
+ * accumulator is UB and is rejected here; beamSteerReference panics
+ * on a violation, and the study-level ConfigValidator reports it as
+ * a typed ConfigError first.
+ */
+std::optional<std::string> beamShapeError(const BeamConfig &cfg);
 
 /** Calibration and steering tables (synthetic stand-ins). */
 struct BeamTables

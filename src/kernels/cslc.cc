@@ -36,14 +36,43 @@ subBandSpectrum(const CslcConfig &cfg, const std::vector<cfloat> &x,
 
 } // namespace
 
+std::optional<std::string>
+cslcShapeError(const CslcConfig &cfg)
+{
+    if (cfg.subBandLen < 2
+        || (cfg.subBandLen & (cfg.subBandLen - 1)) != 0) {
+        return "subBandLen must be a power of two >= 2 for the "
+               "radix-2 FFT, got "
+               + std::to_string(cfg.subBandLen);
+    }
+    if (cfg.subBands == 0)
+        return "at least one sub-band is required";
+    // 64-bit so a huge subBands/stride pair cannot wrap back onto
+    // the right answer.
+    const std::uint64_t covered =
+        static_cast<std::uint64_t>(cfg.subBands - 1) * cfg.subBandStride
+        + cfg.subBandLen;
+    if (covered != cfg.samples) {
+        return "sub-band tiling does not cover the interval: "
+               "(subBands-1)*subBandStride + subBandLen = "
+               + std::to_string(covered) + " but samples = "
+               + std::to_string(cfg.samples);
+    }
+    return std::nullopt;
+}
+
 CslcInput
 makeJammedInput(const CslcConfig &cfg,
                 const std::vector<unsigned> &jammerBins,
                 std::uint64_t seed)
 {
-    triarch_assert((cfg.subBands - 1) * cfg.subBandStride
-                       + cfg.subBandLen == cfg.samples,
-                   "sub-band tiling does not cover the interval");
+    if (auto err = cslcShapeError(cfg))
+        triarch_panic("bad CslcConfig: ", *err);
+    for (unsigned bin : jammerBins) {
+        triarch_assert(bin < cfg.samples,
+                       "jammer bin ", bin, " is out of range for a ",
+                       cfg.samples, "-sample interval");
+    }
 
     Rng rng(seed);
     CslcInput in;

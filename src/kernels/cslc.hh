@@ -21,6 +21,8 @@
 #define TRIARCH_KERNELS_CSLC_HH
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "fft.hh"
@@ -47,7 +49,21 @@ struct CslcConfig
         return static_cast<std::uint64_t>(subBands)
                * (channels() + mainChannels);
     }
+
+    friend bool operator==(const CslcConfig &,
+                           const CslcConfig &) = default;
 };
+
+/**
+ * Why @p cfg cannot be synthesized or transformed by the reference
+ * pipeline, or nullopt if the shape is sound: the sub-band length
+ * must be a power of two (radix-2 FFT), at least one sub-band must
+ * exist, and the sub-band tiling must cover the sample interval
+ * exactly. Shared by the workload synthesizer (which panics on a
+ * violation) and the study-level ConfigValidator (which reports it
+ * as a typed ConfigError before any workload is built).
+ */
+std::optional<std::string> cslcShapeError(const CslcConfig &cfg);
 
 /** One interval of input data, per channel time series. */
 struct CslcInput

@@ -842,13 +842,18 @@ beamSteeringRaw(RawMachine &machine, const kernels::BeamConfig &cfg,
                     static_cast<Word>(tables.dwellOffset[dw]));
                 cfgTable.push_back(static_cast<Word>(tables.bias));
 
-                machine.dmaIn(t, t, tabBase + e0 * 8ULL, count * 2);
-                machine.dmaOut(t,
-                               outBase
-                               + ((static_cast<Addr>(dw)
-                                   * cfg.directions + dir)
-                                  * cfg.elements + e0) * 4,
-                               count);
+                // Tiles left without elements (fewer elements than
+                // tiles) stream nothing and just halt.
+                if (count > 0) {
+                    machine.dmaIn(t, t, tabBase + e0 * 8ULL,
+                                  count * 2);
+                    machine.dmaOut(t,
+                                   outBase
+                                   + ((static_cast<Addr>(dw)
+                                       * cfg.directions + dir)
+                                      * cfg.elements + e0) * 4,
+                                   count);
+                }
             }
         }
         machine.pokeLocal(t, 0, cfgTable);

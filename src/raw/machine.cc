@@ -126,6 +126,12 @@ RawMachine::dmaIn(unsigned port, unsigned dstTile, Addr base,
     triarch_assert(port < ports.size() && dstTile < cfg.tiles(),
                    "bad port or tile");
     triarch_assert(base >= globalBase, "DMA below global base");
+    // A zero-word segment is a no-op. Queueing it would wedge the
+    // port: stepPorts() only retires a segment after streaming a
+    // word, so done (1, 2, ...) never equals words (0) and the run
+    // loop spins forever waiting for the queue to drain.
+    if (words == 0)
+        return;
     ports[port].inQueue.push_back({base - globalBase, words, dstTile});
 }
 
@@ -134,6 +140,8 @@ RawMachine::dmaOut(unsigned port, Addr base, unsigned words)
 {
     triarch_assert(port < ports.size(), "bad port");
     triarch_assert(base >= globalBase, "DMA below global base");
+    if (words == 0)
+        return;
     ports[port].outQueue.push_back({base - globalBase, words, 0});
 }
 

@@ -1,0 +1,164 @@
+#include "config_check.hh"
+
+#include "kernels/beam_steering.hh"
+
+namespace triarch::study
+{
+
+namespace
+{
+
+// Caps that keep workload footprints inside the simulated memories
+// (VIRAM's on-chip DRAM is 13 MB) and every index computation inside
+// 32 bits. Generous relative to the paper's shapes.
+constexpr unsigned maxMatrixSize = 8192;
+constexpr unsigned maxSamples = 1u << 20;
+constexpr unsigned maxSubBands = 4096;
+constexpr unsigned maxElements = 1u << 20;
+constexpr unsigned maxDirections = 4096;
+constexpr unsigned maxDwells = 4096;
+
+std::string
+num(unsigned v)
+{
+    return std::to_string(v);
+}
+
+} // namespace
+
+std::string
+describe(const ConfigError &err)
+{
+    return err.field + ": " + err.message;
+}
+
+std::vector<ConfigError>
+configErrors(const StudyConfig &cfg)
+{
+    std::vector<ConfigError> errs;
+    auto reject = [&errs](std::string field, std::string message) {
+        errs.push_back({std::move(field), std::move(message)});
+    };
+
+    // Corner turn: every machine mapping tiles the matrix (VIRAM
+    // 64-element strips, Raw 64x64 blocks, Imagine 8-row strips,
+    // Altivec 4x4 register tiles); 64 covers them all.
+    if (cfg.matrixSize == 0) {
+        reject("matrixSize", "matrix is empty");
+    } else if (cfg.matrixSize < 64 || cfg.matrixSize % 64 != 0) {
+        reject("matrixSize",
+               "must be a positive multiple of 64 (the machine "
+               "mappings tile in 64-element strips/blocks), got "
+               + num(cfg.matrixSize));
+    } else if (cfg.matrixSize > maxMatrixSize) {
+        reject("matrixSize",
+               "must be <= " + num(maxMatrixSize)
+               + " to fit the simulated memories, got "
+               + num(cfg.matrixSize));
+    }
+
+    // CSLC: the mappings and the two-stage weight estimator are
+    // built for the paper's channel count and sub-band length.
+    if (cfg.cslc.mainChannels != 2) {
+        reject("cslc.mainChannels",
+               "the mappings are built for exactly 2 main channels, "
+               "got " + num(cfg.cslc.mainChannels));
+    }
+    if (cfg.cslc.auxChannels != 2) {
+        reject("cslc.auxChannels",
+               "the two-stage sequential canceller estimates weights "
+               "for exactly 2 auxiliary channels, got "
+               + num(cfg.cslc.auxChannels));
+    }
+    if (cfg.cslc.subBandLen < 2
+        || (cfg.cslc.subBandLen & (cfg.cslc.subBandLen - 1)) != 0) {
+        reject("cslc.subBandLen",
+               "must be a power of two >= 2 for the radix-2 FFT, "
+               "got " + num(cfg.cslc.subBandLen));
+    } else if (cfg.cslc.subBandLen != 128) {
+        reject("cslc.subBandLen",
+               "the mixed-radix FFT and every architecture's inner "
+               "loop are sized for 128-sample sub-bands, got "
+               + num(cfg.cslc.subBandLen));
+    }
+    if (cfg.cslc.subBands == 0)
+        reject("cslc.subBands", "at least one sub-band is required");
+    else if (cfg.cslc.subBands > maxSubBands) {
+        reject("cslc.subBands",
+               "must be <= " + num(maxSubBands) + ", got "
+               + num(cfg.cslc.subBands));
+    }
+    if (cfg.cslc.subBandStride == 0) {
+        reject("cslc.subBandStride",
+               "must be >= 1 so consecutive sub-bands advance "
+               "through the interval");
+    }
+    if (cfg.cslc.samples > maxSamples) {
+        reject("cslc.samples",
+               "must be <= " + num(maxSamples) + ", got "
+               + num(cfg.cslc.samples));
+    } else if (cfg.cslc.subBands >= 1 && cfg.cslc.subBandStride >= 1
+               && cfg.cslc.subBands <= maxSubBands) {
+        // The tiling equation, checked 64-bit so it cannot wrap.
+        const std::uint64_t covered =
+            static_cast<std::uint64_t>(cfg.cslc.subBands - 1)
+                * cfg.cslc.subBandStride
+            + cfg.cslc.subBandLen;
+        if (covered != cfg.cslc.samples) {
+            reject("cslc.samples",
+                   "sub-band tiling does not cover the interval: "
+                   "(subBands-1)*subBandStride + subBandLen = "
+                   + std::to_string(covered) + " but samples = "
+                   + num(cfg.cslc.samples));
+        }
+    }
+
+    // Jammer tones are FFT bin indices of the full interval.
+    for (std::size_t i = 0; i < cfg.jammerBins.size(); ++i) {
+        if (cfg.jammerBins[i] >= cfg.cslc.samples) {
+            reject("jammerBins[" + std::to_string(i) + "]",
+                   "bin " + num(cfg.jammerBins[i])
+                   + " is out of range for a "
+                   + num(cfg.cslc.samples) + "-sample interval");
+        }
+    }
+
+    // Beam steering: the study needs at least one output, and the
+    // fixed-point shift must stay inside the 32-bit accumulator.
+    if (cfg.beam.elements == 0)
+        reject("beam.elements", "at least one element is required");
+    else if (cfg.beam.elements > maxElements) {
+        reject("beam.elements",
+               "must be <= " + num(maxElements) + ", got "
+               + num(cfg.beam.elements));
+    }
+    if (cfg.beam.directions == 0)
+        reject("beam.directions", "at least one direction is required");
+    else if (cfg.beam.directions > maxDirections) {
+        reject("beam.directions",
+               "must be <= " + num(maxDirections) + ", got "
+               + num(cfg.beam.directions));
+    }
+    if (cfg.beam.dwells == 0)
+        reject("beam.dwells", "at least one dwell is required");
+    else if (cfg.beam.dwells > maxDwells) {
+        reject("beam.dwells",
+               "must be <= " + num(maxDwells) + ", got "
+               + num(cfg.beam.dwells));
+    }
+    if (auto err = kernels::beamShapeError(cfg.beam))
+        reject("beam.shift", *err);
+
+    return errs;
+}
+
+std::optional<ConfigError>
+validateConfig(const StudyConfig &cfg)
+{
+    std::vector<ConfigError> errs = configErrors(cfg);
+    if (errs.empty())
+        return std::nullopt;
+    return std::move(errs.front());
+}
+
+} // namespace triarch::study

@@ -1,8 +1,10 @@
 #include "experiment.hh"
 
 #include <cmath>
+#include <iterator>
 
 #include "sim/logging.hh"
+#include "study/config_check.hh"
 #include "study/registry.hh"
 
 namespace triarch::study
@@ -21,14 +23,20 @@ kernelName(KernelId id)
 {
     static const std::string names[] = {"Corner Turn", "CSLC",
                                         "Beam Steering"};
-    return names[static_cast<unsigned>(id)];
+    const auto i = static_cast<std::size_t>(id);
+    if (i >= std::size(names))
+        triarch_panic("KernelId out of range: ", i);
+    return names[i];
 }
 
 const std::string &
 kernelToken(KernelId id)
 {
     static const std::string tokens[] = {"ct", "cslc", "bs"};
-    return tokens[static_cast<unsigned>(id)];
+    const auto i = static_cast<std::size_t>(id);
+    if (i >= std::size(tokens))
+        triarch_panic("KernelId out of range: ", i);
+    return tokens[i];
 }
 
 namespace
@@ -89,8 +97,13 @@ RunResult::milliseconds() const
 std::shared_ptr<const Workloads>
 buildWorkloads(const StudyConfig &cfg)
 {
-    triarch_assert(cfg.matrixSize >= 64 && cfg.matrixSize % 64 == 0,
-                   "matrix size must be a positive multiple of 64");
+    // A bad config is a user error, not a simulator bug: fail with
+    // the typed rule here, before any machine or worker thread sees
+    // the workloads. Callers who want the error as a value use
+    // validateConfig() (config_check.hh) first.
+    if (auto err = validateConfig(cfg))
+        triarch_fatal("invalid StudyConfig (", err->field, "): ",
+                      err->message);
 
     auto work = std::make_shared<Workloads>();
 

@@ -48,6 +48,9 @@ struct StudyConfig
     kernels::BeamConfig beam{};
     std::vector<unsigned> jammerBins = {300, 1700, 4090};
     std::uint64_t seed = 11;
+
+    friend bool operator==(const StudyConfig &,
+                           const StudyConfig &) = default;
 };
 
 /**
@@ -106,8 +109,10 @@ struct Workloads
 
 /**
  * Deterministically synthesize the workloads and reference outputs
- * for @p cfg (everything derives from cfg.seed). Panics on
- * impossible configurations.
+ * for @p cfg (everything derives from cfg.seed). An invalid
+ * configuration is a user error: it exits with the violated rule
+ * from validateConfig() (config_check.hh); callers who want the
+ * error as a value run the validator themselves first.
  */
 std::shared_ptr<const Workloads> buildWorkloads(const StudyConfig &cfg);
 

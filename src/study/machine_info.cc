@@ -1,5 +1,7 @@
 #include "machine_info.hh"
 
+#include <iterator>
+
 #include "sim/logging.hh"
 
 namespace triarch::study
@@ -66,7 +68,10 @@ machineToken(MachineId id)
 {
     static const std::string tokens[] = {"ppc", "altivec", "viram",
                                          "imagine", "raw"};
-    return tokens[static_cast<unsigned>(id)];
+    const auto i = static_cast<std::size_t>(id);
+    if (i >= std::size(tokens))
+        triarch_panic("MachineId out of range: ", i);
+    return tokens[i];
 }
 
 } // namespace triarch::study
