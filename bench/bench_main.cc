@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <limits>
 #include <sstream>
@@ -70,6 +71,33 @@ parseKernel(const std::string &tok, KernelId &out)
         }
     }
     return false;
+}
+
+/**
+ * Make sure an output path's parent directory exists before any
+ * simulation time is spent: "--stats out/run1/stats.json" in a fresh
+ * checkout creates out/run1/ on demand, and a parent that cannot be
+ * created (e.g. a path component is a regular file) is a usage error
+ * reported up front with exit 2, not an fopen failure after the run.
+ */
+void
+ensureParentDir(const char *flag, const std::string &path,
+                const char *prog)
+{
+    if (path.empty())
+        return;
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (parent.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+        std::cerr << prog << ": " << flag << " '" << path
+                  << "': cannot create parent directory '"
+                  << parent.string() << "': " << ec.message() << "\n";
+        std::exit(2);
+    }
 }
 
 void
@@ -303,6 +331,10 @@ benchMain(int argc, char **argv, const char *description,
             return 2;
         }
     }
+
+    ensureParentDir("--json", opts.jsonPath, prog);
+    ensureParentDir("--trace", opts.tracePath, prog);
+    ensureParentDir("--stats", opts.statsPath, prog);
 
     // The session must outlive the context: the runner's worker
     // threads (and their buffered events) drain in ~BenchContext.

@@ -74,6 +74,26 @@ run(bench::BenchContext &ctx)
            Table::num(serialMs / std::max(cachedMs, 1e-6), 0)});
     t.render(std::cout);
 
+    // The determinism claim extends to the cycle accounts: the
+    // breakdowns above compared bit-for-bit too (RunResult::operator==
+    // includes them), so print where the cycles went per cell.
+    Table acct("Cycle account per cell (% of cell cycles)");
+    std::vector<std::string> header = {"Machine", "Kernel", "Cycles"};
+    for (const auto cat : stats::allCycleCategories())
+        header.push_back(stats::cycleCategoryToken(cat));
+    acct.header(header);
+    for (const RunResult &r : parResults) {
+        std::vector<std::string> row = {
+            machineName(r.machine), kernelName(r.kernel),
+            std::to_string(r.cycles)};
+        for (const auto cat : stats::allCycleCategories())
+            row.push_back(Table::num(100.0 * r.breakdown.fraction(cat),
+                                     1));
+        acct.row(row);
+    }
+    std::cout << "\n";
+    acct.render(std::cout);
+
     std::cout << "\nAll " << parResults.size()
               << " parallel cells are bit-identical to the serial "
                  "sweep; the re-run was\nserved entirely from the "

@@ -7,6 +7,7 @@
  * stall breakdowns, network traffic, utilization inputs.
  */
 
+#include <iomanip>
 #include <iostream>
 
 #include "bench_main.hh"
@@ -22,6 +23,20 @@ using namespace triarch::kernels;
 namespace
 {
 
+/** One-line percentage view of a finalized cycle account (the
+ *  account_* scalars carry the raw values in the dump below). */
+void
+printAccount(const stats::CycleBreakdown &b)
+{
+    std::cout << "cycle_account:";
+    for (const auto cat : stats::allCycleCategories()) {
+        std::cout << " " << stats::cycleCategoryToken(cat) << " "
+                  << std::fixed << std::setprecision(1)
+                  << 100.0 * b.fraction(cat) << "%";
+    }
+    std::cout << std::defaultfloat << " (total " << b.total << ")\n";
+}
+
 int
 run(bench::BenchContext &ctx)
 {
@@ -35,6 +50,7 @@ run(bench::BenchContext &ctx)
         viram::ViramMachine m;
         const Cycles c = viram::cornerTurnViram(m, src, dst);
         std::cout << "viram.cycles " << c << "\n";
+        printAccount(m.cycleBreakdown(c));
         m.statGroup().dump(std::cout);
         metrics::MetricsRegistry::global().capture(m.statGroup(),
                                                    "viram.ct");
@@ -48,6 +64,7 @@ run(bench::BenchContext &ctx)
         imagine::ImagineMachine m;
         const Cycles c = imagine::cslcImagine(m, cfg.cslc, in, w, out);
         std::cout << "imagine.cycles " << c << "\n";
+        printAccount(m.cycleBreakdown(c));
         m.statGroup().dump(std::cout);
         metrics::MetricsRegistry::global().capture(m.statGroup(),
                                                    "imagine.cslc");
@@ -63,6 +80,7 @@ run(bench::BenchContext &ctx)
         std::cout << "raw.cycles " << r.cycles
                   << "\nraw.balanced_cycles " << r.balancedCycles
                   << "\n";
+        printAccount(m.cycleBreakdown(r.cycles));
         m.statGroup().dump(std::cout);
         metrics::MetricsRegistry::global().capture(m.statGroup(),
                                                    "raw.cslc");
@@ -79,6 +97,7 @@ run(bench::BenchContext &ctx)
         const Cycles c =
             ppc::beamSteeringPpc(m, cfg.beam, tables, out, true);
         std::cout << "ppc.cycles " << c << "\n";
+        printAccount(m.cycleBreakdown(c));
         m.statGroup().dump(std::cout);
         metrics::MetricsRegistry::global().capture(m.statGroup(),
                                                    "altivec.bs");

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "bench_main.hh"
+#include "study/bench_report.hh"
 #include "study/report.hh"
 
 using namespace triarch;
@@ -18,20 +19,6 @@ using namespace triarch::study;
 
 namespace
 {
-
-double
-paperKcycles(MachineId machine, KernelId kernel)
-{
-    static const double table[5][3] = {
-        {34250, 29013, 730},    // PPC
-        {29288, 4931, 364},     // Altivec
-        {554, 424, 35},         // VIRAM
-        {1439, 196, 87},        // Imagine
-        {146, 357, 19},         // Raw
-    };
-    return table[static_cast<unsigned>(machine)]
-                [static_cast<unsigned>(kernel)];
-}
 
 int
 run(bench::BenchContext &ctx)
@@ -52,7 +39,7 @@ run(bench::BenchContext &ctx)
     for (MachineId machine : ctx.options().machines) {
         for (KernelId kernel : ctx.options().kernels) {
             const auto &r = findResult(results, machine, kernel);
-            const double paper = paperKcycles(machine, kernel);
+            const double paper = paperTable3Kcycles(machine, kernel);
             const double measured =
                 static_cast<double>(r.cycles) / 1000.0;
             cmp.row({machineName(machine), kernelName(kernel),

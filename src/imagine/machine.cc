@@ -37,6 +37,7 @@ ImagineMachine::ImagineMachine(const ImagineConfig &machine_config)
                     "issues stalled on stream descriptor registers");
     group.addAverage("avg_kernel_ii", &_avgKernelIi,
                      "mean initiation interval per kernel invocation");
+    accountStats.registerIn(group);
 }
 
 Addr
@@ -127,6 +128,8 @@ ImagineMachine::issueOp()
 {
     hostCycle += cfg.hostIssueCycles;
     _hostCycles += cfg.hostIssueCycles;
+    timeline.add(stats::CycleCategory::SetupReadback,
+                 hostCycle - cfg.hostIssueCycles, hostCycle);
     if (inflight.size() >= cfg.streamDescRegs) {
         const Cycles oldest = inflight.front();
         inflight.pop_front();
@@ -179,6 +182,7 @@ ImagineMachine::loadStream(const StreamRef &ref,
     setStreamReady(ref, finish);
     inflight.push_back(finish);
     lastFinish = std::max(lastFinish, finish);
+    timeline.add(stats::CycleCategory::DramDma, start, finish);
     _memBusy += finish - start;
     _memWords += pattern.totalWords();
     ++_streamOps;
@@ -220,6 +224,7 @@ ImagineMachine::storeStream(const StreamRef &ref,
     engineFree[e] = finish;
     inflight.push_back(finish);
     lastFinish = std::max(lastFinish, finish);
+    timeline.add(stats::CycleCategory::DramDma, start, finish);
     _memBusy += finish - start;
     _memWords += pattern.totalWords();
     ++_streamOps;
@@ -251,6 +256,8 @@ ImagineMachine::runKernel(const KernelDesc &desc,
 
     hostCycle += cfg.hostIssueCycles;
     _hostCycles += cfg.hostIssueCycles;
+    timeline.add(stats::CycleCategory::SetupReadback,
+                 hostCycle - cfg.hostIssueCycles, hostCycle);
 
     Cycles start = std::max(hostCycle, clusterFree);
     for (const StreamRef *in : inputs) {
@@ -270,6 +277,7 @@ ImagineMachine::runKernel(const KernelDesc &desc,
     }
     lastFinish = std::max(lastFinish, finish);
 
+    timeline.add(stats::CycleCategory::Compute, start, finish);
     _clusterBusy += busy;
     _avgKernelIi.sample(static_cast<double>(ii));
     _usefulFlops += desc.usefulFlops;
@@ -284,6 +292,15 @@ ImagineMachine::completionTime() const
     return std::max(lastFinish, hostCycle);
 }
 
+stats::CycleBreakdown
+ImagineMachine::cycleBreakdown(Cycles total)
+{
+    const stats::CycleBreakdown b =
+        timeline.resolve(total, stats::CycleCategory::NetworkSync);
+    accountStats.record(b);
+    return b;
+}
+
 void
 ImagineMachine::resetTiming()
 {
@@ -295,6 +312,7 @@ ImagineMachine::resetTiming()
     readyList.clear();
     inflight.clear();
     lastFinish = 0;
+    timeline.clear();
     group.resetAll();
 }
 

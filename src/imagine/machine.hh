@@ -27,6 +27,7 @@
 #include "imagine/config.hh"
 #include "imagine/srf.hh"
 #include "mem/dram.hh"
+#include "sim/cycle_account.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -132,6 +133,19 @@ class ImagineMachine
     Cycles completionTime() const;
     void resetTiming();
 
+    /**
+     * Finalize the cycle account against @p total (normally
+     * completionTime()): cluster-array kernel execution is compute,
+     * stream-engine transfer windows are dram_dma, host issue
+     * overhead is setup_readback, and uncovered cycles (stream-
+     * readiness and descriptor waits) are network/sync idle. Kernel
+     * execution takes priority over overlapped transfers, so a
+     * fully-overlapped memory system shows up as pure compute —
+     * and cache_stall is structurally zero in stream mode. Also
+     * records the breakdown into the stat group's account_* scalars.
+     */
+    stats::CycleBreakdown cycleBreakdown(Cycles total);
+
     stats::StatGroup &statGroup() { return group; }
 
     std::uint64_t clusterBusy() const { return _clusterBusy.value(); }
@@ -174,6 +188,9 @@ class ImagineMachine
     std::deque<Cycles> inflight;    //!< outstanding stream ops
     Cycles lastFinish = 0;
 
+    // Busy intervals for the wall-clock cycle account.
+    stats::CycleTimeline timeline;
+
     // Statistics.
     stats::StatGroup group;
     stats::Scalar _clusterBusy;
@@ -186,6 +203,7 @@ class ImagineMachine
     stats::Scalar _streamOps;
     stats::Scalar _descStalls;
     stats::Average _avgKernelIi;
+    stats::BreakdownStats accountStats;
 };
 
 } // namespace triarch::imagine

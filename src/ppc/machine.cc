@@ -37,6 +37,7 @@ PpcMachine::PpcMachine(const PpcConfig &machine_config)
     group.addScalar("stores", &_stores, "store accesses");
     group.addScalar("mem_stall", &_memStall,
                     "cycles stalled on L2/DRAM");
+    accountStats.registerIn(group);
 }
 
 void
@@ -93,8 +94,11 @@ PpcMachine::memAccess(Addr addr, bool write, bool charge_hit)
 
     auto r2 = l2.access(addr, false);
     if (r2.hit) {
-        now += charge_hit ? static_cast<double>(cfg.l2HitCycles)
-                          : static_cast<double>(cfg.storeL2HitCycles);
+        const double l2Stall =
+            charge_hit ? static_cast<double>(cfg.l2HitCycles)
+                       : static_cast<double>(cfg.storeL2HitCycles);
+        now += l2Stall;
+        account.charge(stats::CycleCategory::CacheStall, l2Stall);
         _memStall += cfg.l2HitCycles;
         return;
     }
@@ -119,6 +123,7 @@ PpcMachine::memAccess(Addr addr, bool write, bool charge_hit)
             - static_cast<double>(cfg.storeQueueSlack);
         now = std::max(now, backlogLimit);
     }
+    account.charge(stats::CycleCategory::DramDma, now - stallFrom);
     _memStall += static_cast<Cycles>(now - stallFrom);
 }
 
@@ -156,10 +161,20 @@ PpcMachine::cycles() const
     return static_cast<Cycles>(std::llround(now));
 }
 
+stats::CycleBreakdown
+PpcMachine::cycleBreakdown(Cycles total)
+{
+    const stats::CycleBreakdown b =
+        account.finalize(total, stats::CycleCategory::Compute);
+    accountStats.record(b);
+    return b;
+}
+
 void
 PpcMachine::resetTiming()
 {
     now = 0.0;
+    account.reset();
     l1.flush();
     l2.flush();
     fsb.resetState();

@@ -15,6 +15,7 @@
 #include "mem/cache.hh"
 #include "mem/port.hh"
 #include "ppc/config.hh"
+#include "sim/cycle_account.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -63,6 +64,15 @@ class PpcMachine
     Cycles cycles() const;
     void resetTiming();
 
+    /**
+     * Finalize the cycle account against @p total (normally
+     * cycles()): L2-hit stalls went to cache_stall, DRAM stalls to
+     * dram_dma as they occurred, and everything else — the issue-
+     * limited pipeline time — is the compute residual. Also records
+     * the breakdown into the stat group's account_* scalars.
+     */
+    stats::CycleBreakdown cycleBreakdown(Cycles total);
+
     stats::StatGroup &statGroup() { return group; }
     std::uint64_t l1Misses() const { return l1.misses(); }
     std::uint64_t l2Misses() const { return l2.misses(); }
@@ -83,6 +93,8 @@ class PpcMachine
 
     double now = 0.0;
 
+    stats::CycleAccount account;
+
     stats::StatGroup group;
     stats::Scalar _intOps;
     stats::Scalar _fpOps;
@@ -90,6 +102,7 @@ class PpcMachine
     stats::Scalar _loads;
     stats::Scalar _stores;
     stats::Scalar _memStall;
+    stats::BreakdownStats accountStats;
 };
 
 } // namespace triarch::ppc

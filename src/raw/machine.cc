@@ -39,6 +39,7 @@ RawMachine::RawMachine(const RawConfig &machine_config)
     group.addDistribution("tile_instr_share", &_tileShare,
                           "per-tile instructions relative to the "
                           "busiest tile");
+    accountStats.registerIn(group);
 }
 
 Addr
@@ -132,6 +133,7 @@ RawMachine::dmaIn(unsigned port, unsigned dstTile, Addr base,
     // loop spins forever waiting for the queue to drain.
     if (words == 0)
         return;
+    tileState[dstTile].dmaFed = true;
     ports[port].inQueue.push_back({base - globalBase, words, dstTile});
 }
 
@@ -171,11 +173,40 @@ RawMachine::send(unsigned t, Word value, Cycles now)
 }
 
 void
+RawMachine::tallyStall(TileStall kind)
+{
+    switch (kind) {
+      case TileStall::Dep:
+        ++tcDep;
+        break;
+      case TileStall::Cache:
+        ++tcCache;
+        break;
+      case TileStall::Net:
+        ++tcNet;
+        break;
+      case TileStall::Dma:
+        ++tcDma;
+        break;
+      case TileStall::None:
+        // Every path that pushes stallUntil into the future records
+        // why; a future stall with no kind is a modelling bug.
+        triarch_panic("Raw tile stalled with no recorded stall kind");
+    }
+}
+
+void
 RawMachine::stepTile(unsigned t, Cycles now)
 {
     Tile &tile = tileState[t];
-    if (tile.halted || tile.stallUntil > now)
+    if (tile.halted) {
+        ++tcIdle;
         return;
+    }
+    if (tile.stallUntil > now) {
+        tallyStall(tile.stallKind);
+        return;
+    }
     triarch_assert(tile.pc < tile.program.size(),
                    "tile ", t, " ran off its program");
     const Instr &in = tile.program[tile.pc];
@@ -214,6 +245,9 @@ RawMachine::stepTile(unsigned t, Cycles now)
         if (tile.inFifo.size() < pops
             || tile.inFifo[pops - 1].first > now) {
             ++_netStalls;
+            tile.stallKind =
+                tile.dmaFed ? TileStall::Dma : TileStall::Net;
+            tallyStall(tile.stallKind);
             tile.stallUntil = now + 1;
             return;
         }
@@ -223,6 +257,8 @@ RawMachine::stepTile(unsigned t, Cycles now)
     if (in.op == Op::Drecv) {
         if (tile.dynFifo.empty() || tile.dynFifo.front().first > now) {
             ++_netStalls;
+            tile.stallKind = TileStall::Net;
+            tallyStall(tile.stallKind);
             tile.stallUntil = now + 1;
             return;
         }
@@ -236,6 +272,8 @@ RawMachine::stepTile(unsigned t, Cycles now)
     }
     if (rdy > now) {
         ++_depStalls;
+        tile.stallKind = TileStall::Dep;
+        tallyStall(tile.stallKind);
         tile.stallUntil = rdy;
         return;
     }
@@ -249,6 +287,8 @@ RawMachine::stepTile(unsigned t, Cycles now)
     if (sendsNet && tile.route < 1000
         && tileState[tile.route].inFifo.size() >= cfg.fifoCapacity) {
         ++_netStalls;
+        tile.stallKind = TileStall::Net;
+        tallyStall(tile.stallKind);
         tile.stallUntil = now + 1;
         return;
     }
@@ -361,8 +401,10 @@ RawMachine::stepTile(unsigned t, Cycles now)
             std::memcpy(&value, tile.sram.data() + addr, 4);
         }
         writeReg(in.rd, value, extra + cfg.loadLatency);
-        if (extra > 0)
+        if (extra > 0) {
+            tile.stallKind = TileStall::Cache;
             tile.stallUntil = now + 1 + extra;
+        }
         ++_ldst;
         break;
       }
@@ -381,6 +423,7 @@ RawMachine::stepTile(unsigned t, Cycles now)
                 if (res.writebackAddr)
                     extra += cfg.writebackPenalty;
                 _cacheStalls += extra;
+                tile.stallKind = TileStall::Cache;
                 tile.stallUntil = now + 1 + extra;
             }
         } else {
@@ -400,6 +443,7 @@ RawMachine::stepTile(unsigned t, Cycles now)
             now + cfg.dynBaseLatency + std::max(1u, hops(t, dest)),
             value);
         // The packet (header + data) occupies the injection port.
+        tile.stallKind = TileStall::Net;
         tile.stallUntil = now + cfg.dynSendOccupancy;
         break;
       }
@@ -437,6 +481,7 @@ RawMachine::stepTile(unsigned t, Cycles now)
 
     ++tile.instrs;
     ++_instrs;
+    ++tcBusy;
 
     if (logLevel() >= LogLevel::Debug) {
         debugLog("raw tile ", t, " @", now, ": ",
@@ -541,6 +586,32 @@ RawMachine::run()
         }
     }
     return now;
+}
+
+stats::CycleBreakdown
+RawMachine::cycleBreakdown(Cycles total)
+{
+    stats::CycleAccount account;
+    // Average the per-tile-cycle tallies over the mesh: tiles() of
+    // them accrue per wall cycle, so dividing by tiles() partitions
+    // the wall clock. tiles() is a power of two, so the divisions
+    // are exact in binary floating point and the exact finalize()
+    // path holds when total is the measured wall clock.
+    const double tiles = static_cast<double>(cfg.tiles());
+    account.charge(stats::CycleCategory::Compute,
+                   static_cast<double>(tcBusy + tcDep) / tiles);
+    account.charge(stats::CycleCategory::CacheStall,
+                   static_cast<double>(tcCache) / tiles);
+    account.charge(stats::CycleCategory::DramDma,
+                   static_cast<double>(tcDma) / tiles);
+    account.charge(stats::CycleCategory::NetworkSync,
+                   static_cast<double>(tcNet + tcIdle) / tiles);
+    const stats::CycleBreakdown b =
+        total == _cycles.value()
+            ? account.finalize(total, stats::CycleCategory::NetworkSync)
+            : account.finalizeScaled(total);
+    accountStats.record(b);
+    return b;
 }
 
 std::uint64_t

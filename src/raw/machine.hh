@@ -27,6 +27,7 @@
 #include "mem/cache.hh"
 #include "raw/config.hh"
 #include "raw/isa.hh"
+#include "sim/cycle_account.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -117,6 +118,22 @@ class RawMachine
     /** Cycles tile spent fully idle after halting. */
     std::uint64_t tileIdleAfterHalt(unsigned tile) const;
 
+    /**
+     * Finalize the cycle account against @p total. Every tile is in
+     * exactly one state each cycle of run() — retiring (compute),
+     * stalled on an operand (compute: pipeline latency), stalled on
+     * a cache miss (cache_stall), waiting on a DMA-fed FIFO
+     * (dram_dma), waiting on the network or another tile
+     * (network_sync), or halted (network_sync: imbalance idle) —
+     * and the wall clock is attributed by averaging the tile-cycle
+     * tallies over the mesh. When @p total differs from the
+     * measured wall clock (the Raw CSLC perfect-load-balance
+     * extrapolation of Section 4.3), the measured proportions are
+     * rescaled to @p total. Also records the breakdown into the
+     * stat group's account_* scalars.
+     */
+    stats::CycleBreakdown cycleBreakdown(Cycles total);
+
     /** One-paragraph block-diagram description (Figure 3). */
     std::string describe() const;
 
@@ -129,6 +146,9 @@ class RawMachine
         unsigned done = 0;
     };
 
+    /** Why a tile is not retiring this cycle (for the account). */
+    enum class TileStall : std::uint8_t { None, Dep, Cache, Net, Dma };
+
     struct Tile
     {
         std::array<std::uint32_t, numRegs> regs{};
@@ -138,6 +158,8 @@ class RawMachine
         bool halted = false;
         Cycles haltCycle = 0;
         Cycles stallUntil = 0;
+        TileStall stallKind = TileStall::None;
+        bool dmaFed = false;    //!< a DMA-in segment targets this tile
         std::vector<std::uint8_t> sram;
         std::unique_ptr<mem::SetAssocCache> cache;
         std::deque<std::pair<Cycles, Word>> inFifo; //!< arrival,value
@@ -160,6 +182,9 @@ class RawMachine
     /** Step one tile by one cycle. */
     void stepTile(unsigned t, Cycles now);
 
+    /** Account one cycle of @p kind for a tile. */
+    void tallyStall(TileStall kind);
+
     /** Advance DMA engines for one cycle. */
     void stepPorts(Cycles now);
 
@@ -177,6 +202,15 @@ class RawMachine
     std::vector<std::uint8_t> global;
     Addr allocNext = 64;
 
+    // Tile-cycle tallies: each tile contributes exactly one tally
+    // per run() cycle, so their sum is tiles() x wall cycles.
+    std::uint64_t tcBusy = 0;   //!< retired an instruction
+    std::uint64_t tcDep = 0;    //!< operand-latency stall
+    std::uint64_t tcCache = 0;  //!< cache-miss stall
+    std::uint64_t tcNet = 0;    //!< network wait / send occupancy
+    std::uint64_t tcDma = 0;    //!< DMA-fed FIFO wait
+    std::uint64_t tcIdle = 0;   //!< halted (imbalance idle)
+
     stats::StatGroup group;
     stats::Scalar _instrs;
     stats::Scalar _netStalls;
@@ -191,6 +225,7 @@ class RawMachine
      *  per tile per run(); hi is 1.1 so a share of exactly 1.0 lands
      *  in the top bucket instead of the overflow counter. */
     stats::Distribution _tileShare{0.0, 1.1, 11};
+    stats::BreakdownStats accountStats;
 };
 
 } // namespace triarch::raw

@@ -1,0 +1,655 @@
+#include "bench_report.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace triarch::study
+{
+
+const std::string &
+benchSchema()
+{
+    static const std::string schema = "triarch.bench.v1";
+    return schema;
+}
+
+double
+paperTable3Kcycles(MachineId machine, KernelId kernel)
+{
+    // Table 3 of the paper, in 10^3 cycles; rows follow MachineId,
+    // columns follow KernelId declaration order.
+    static const double table[5][3] = {
+        {34250, 29013, 730},    // PPC
+        {29288, 4931, 364},     // Altivec
+        {554, 424, 35},         // VIRAM
+        {1439, 196, 87},        // Imagine
+        {146, 357, 19},         // Raw
+    };
+    const unsigned m = static_cast<unsigned>(machine);
+    const unsigned k = static_cast<unsigned>(kernel);
+    triarch_assert(m < 5 && k < 3, "no Table 3 target for machine ", m,
+                   " kernel ", k);
+    return table[m][k];
+}
+
+const BenchCell *
+BenchReport::find(MachineId machine, KernelId kernel) const
+{
+    for (const BenchCell &cell : cells) {
+        if (cell.machine == machine && cell.kernel == kernel)
+            return &cell;
+    }
+    return nullptr;
+}
+
+BenchReport
+buildBenchReport(const StudyConfig &cfg,
+                 const std::vector<RunResult> &results)
+{
+    BenchReport report;
+    report.schema = benchSchema();
+    std::ostringstream hash;
+    hash << std::hex << studyConfigHash(cfg);
+    report.configHash = hash.str();
+    report.seed = cfg.seed;
+
+    for (const RunResult &r : results) {
+        triarch_assert(r.breakdown.total == r.cycles
+                           && r.breakdown.categorySum() == r.cycles,
+                       "breakdown does not partition the cycle count "
+                       "for ", machineToken(r.machine), "/",
+                       kernelToken(r.kernel));
+        BenchCell cell;
+        cell.machine = r.machine;
+        cell.kernel = r.kernel;
+        cell.cycles = r.cycles;
+        cell.measuredUnbalanced = r.measuredUnbalanced;
+        cell.validated = r.validated;
+        cell.breakdown = r.breakdown;
+        report.cells.push_back(cell);
+    }
+
+    std::sort(report.cells.begin(), report.cells.end(),
+              [](const BenchCell &a, const BenchCell &b) {
+                  if (a.machine != b.machine)
+                      return a.machine < b.machine;
+                  return a.kernel < b.kernel;
+              });
+    return report;
+}
+
+void
+writeBenchReportJson(const BenchReport &report, std::ostream &os)
+{
+    os << "{\n  \"schema\": \"" << report.schema << "\",\n"
+       << "  \"config_hash\": \"" << report.configHash << "\",\n"
+       << "  \"seed\": " << report.seed << ",\n"
+       << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < report.cells.size(); ++i) {
+        const BenchCell &cell = report.cells[i];
+        os << "    {\"machine\": \"" << machineToken(cell.machine)
+           << "\", \"kernel\": \"" << kernelToken(cell.kernel)
+           << "\", \"cycles\": " << cell.cycles << ", \"validated\": "
+           << (cell.validated ? "true" : "false");
+        if (cell.measuredUnbalanced) {
+            os << ", \"measured_unbalanced\": "
+               << *cell.measuredUnbalanced;
+        }
+        os << ",\n     \"breakdown\": {";
+        for (std::size_t c = 0; c < stats::kNumCycleCategories; ++c) {
+            const auto cat = stats::allCycleCategories()[c];
+            os << (c ? ", " : "") << "\""
+               << stats::cycleCategoryToken(cat)
+               << "\": " << cell.breakdown[cat];
+        }
+        os << "}}" << (i + 1 < report.cells.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+// ---------------------------------------------------------------
+// A minimal JSON reader — just enough for the documents this layer
+// writes (objects, arrays, strings, numbers, booleans, null). The
+// repo deliberately has no external JSON dependency.
+// ---------------------------------------------------------------
+
+namespace
+{
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::string text;   //!< string value, or raw number text
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> fields;
+
+    const JsonValue *
+    field(const std::string &name) const
+    {
+        for (const auto &[key, value] : fields) {
+            if (key == name)
+                return &value;
+        }
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : in(text) {}
+
+    std::optional<JsonValue>
+    parse(std::string *error)
+    {
+        err = error;
+        JsonValue root;
+        if (!parseValue(root))
+            return std::nullopt;
+        skipWs();
+        if (pos != in.size()) {
+            fail("trailing characters after document");
+            return std::nullopt;
+        }
+        return root;
+    }
+
+  private:
+    void
+    fail(const std::string &why)
+    {
+        if (err && err->empty()) {
+            *err = "JSON error at offset " + std::to_string(pos) + ": "
+                   + why;
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < in.size()
+               && std::isspace(static_cast<unsigned char>(in[pos])))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (in.compare(pos, n, word) != 0) {
+            fail(std::string("expected '") + word + "'");
+            return false;
+        }
+        pos += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos >= in.size()) {
+            fail("unexpected end of input");
+            return false;
+        }
+        switch (in[pos]) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.text);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos;     // '{'
+        skipWs();
+        if (pos < in.size() && in[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos >= in.size() || in[pos] != '"') {
+                fail("expected object key");
+                return false;
+            }
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos >= in.size() || in[pos] != ':') {
+                fail("expected ':' after key");
+                return false;
+            }
+            ++pos;
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.fields.emplace_back(std::move(key), std::move(value));
+            skipWs();
+            if (pos < in.size() && in[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (pos < in.size() && in[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            fail("expected ',' or '}' in object");
+            return false;
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos;     // '['
+        skipWs();
+        if (pos < in.size() && in[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.items.push_back(std::move(value));
+            skipWs();
+            if (pos < in.size() && in[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (pos < in.size() && in[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            fail("expected ',' or ']' in array");
+            return false;
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos;      // opening quote
+        while (pos < in.size() && in[pos] != '"') {
+            char c = in[pos];
+            if (c == '\\') {
+                if (pos + 1 >= in.size()) {
+                    fail("dangling escape");
+                    return false;
+                }
+                const char esc = in[pos + 1];
+                pos += 2;
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'u': {
+                    if (pos + 4 > in.size()) {
+                        fail("truncated \\u escape");
+                        return false;
+                    }
+                    const unsigned code = static_cast<unsigned>(
+                        std::strtoul(in.substr(pos, 4).c_str(),
+                                     nullptr, 16));
+                    pos += 4;
+                    // Only the ASCII subset our writers emit.
+                    out += code < 0x80 ? static_cast<char>(code) : '?';
+                    break;
+                  }
+                  default:
+                    fail("unknown escape");
+                    return false;
+                }
+            } else {
+                out += c;
+                ++pos;
+            }
+        }
+        if (pos >= in.size()) {
+            fail("unterminated string");
+            return false;
+        }
+        ++pos;      // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Number;
+        const std::size_t start = pos;
+        if (pos < in.size() && (in[pos] == '-' || in[pos] == '+'))
+            ++pos;
+        while (pos < in.size()
+               && (std::isdigit(static_cast<unsigned char>(in[pos]))
+                   || in[pos] == '.' || in[pos] == 'e' || in[pos] == 'E'
+                   || in[pos] == '-' || in[pos] == '+'))
+            ++pos;
+        if (pos == start) {
+            fail("expected a value");
+            return false;
+        }
+        out.text = in.substr(start, pos - start);
+        return true;
+    }
+
+    const std::string &in;
+    std::size_t pos = 0;
+    std::string *err = nullptr;
+};
+
+bool
+asU64(const JsonValue &v, std::uint64_t &out)
+{
+    if (v.kind != JsonValue::Kind::Number)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtoull(v.text.c_str(), &end, 10);
+    return errno == 0 && end && *end == '\0';
+}
+
+std::optional<MachineId>
+machineFromToken(const std::string &token)
+{
+    for (MachineId m : allMachines()) {
+        if (machineToken(m) == token)
+            return m;
+    }
+    return std::nullopt;
+}
+
+std::optional<KernelId>
+kernelFromToken(const std::string &token)
+{
+    for (KernelId k : allKernels()) {
+        if (kernelToken(k) == token)
+            return k;
+    }
+    return std::nullopt;
+}
+
+/** Set *error (once) and return nullopt. */
+std::optional<BenchReport>
+reject(std::string *error, const std::string &why)
+{
+    if (error && error->empty())
+        *error = why;
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<BenchReport>
+parseBenchReportJson(const std::string &text, std::string *error)
+{
+    if (error)
+        error->clear();
+    JsonParser parser(text);
+    const auto root = parser.parse(error);
+    if (!root)
+        return std::nullopt;
+    if (root->kind != JsonValue::Kind::Object)
+        return reject(error, "document root is not an object");
+
+    BenchReport report;
+    const JsonValue *schema = root->field("schema");
+    if (!schema || schema->kind != JsonValue::Kind::String)
+        return reject(error, "missing schema field");
+    if (schema->text != benchSchema()) {
+        return reject(error, "unsupported schema '" + schema->text
+                                 + "' (want " + benchSchema() + ")");
+    }
+    report.schema = schema->text;
+
+    const JsonValue *hash = root->field("config_hash");
+    if (!hash || hash->kind != JsonValue::Kind::String)
+        return reject(error, "missing config_hash field");
+    report.configHash = hash->text;
+
+    const JsonValue *seed = root->field("seed");
+    if (!seed || !asU64(*seed, report.seed))
+        return reject(error, "missing or non-integer seed field");
+
+    const JsonValue *cells = root->field("cells");
+    if (!cells || cells->kind != JsonValue::Kind::Array)
+        return reject(error, "missing cells array");
+
+    for (const JsonValue &entry : cells->items) {
+        if (entry.kind != JsonValue::Kind::Object)
+            return reject(error, "cell entry is not an object");
+        BenchCell cell;
+
+        const JsonValue *machine = entry.field("machine");
+        if (!machine || machine->kind != JsonValue::Kind::String)
+            return reject(error, "cell missing machine token");
+        const auto mid = machineFromToken(machine->text);
+        if (!mid) {
+            return reject(error, "unknown machine token '"
+                                     + machine->text + "'");
+        }
+        cell.machine = *mid;
+
+        const JsonValue *kernel = entry.field("kernel");
+        if (!kernel || kernel->kind != JsonValue::Kind::String)
+            return reject(error, "cell missing kernel token");
+        const auto kid = kernelFromToken(kernel->text);
+        if (!kid) {
+            return reject(error, "unknown kernel token '"
+                                     + kernel->text + "'");
+        }
+        cell.kernel = *kid;
+
+        const std::string where =
+            machine->text + "/" + kernel->text;
+        if (report.find(cell.machine, cell.kernel))
+            return reject(error, "duplicate cell " + where);
+
+        const JsonValue *cycles = entry.field("cycles");
+        if (!cycles || !asU64(*cycles, cell.cycles))
+            return reject(error, where + ": bad cycles field");
+
+        const JsonValue *validated = entry.field("validated");
+        if (!validated || validated->kind != JsonValue::Kind::Bool)
+            return reject(error, where + ": bad validated field");
+        cell.validated = validated->boolean;
+
+        if (const JsonValue *mu = entry.field("measured_unbalanced")) {
+            std::uint64_t value = 0;
+            if (!asU64(*mu, value)) {
+                return reject(error,
+                              where + ": bad measured_unbalanced");
+            }
+            cell.measuredUnbalanced = value;
+        }
+
+        const JsonValue *breakdown = entry.field("breakdown");
+        if (!breakdown || breakdown->kind != JsonValue::Kind::Object)
+            return reject(error, where + ": missing breakdown object");
+        for (const auto cat : stats::allCycleCategories()) {
+            const JsonValue *v =
+                breakdown->field(stats::cycleCategoryToken(cat));
+            std::uint64_t value = 0;
+            if (!v || !asU64(*v, value)) {
+                return reject(error,
+                              where + ": breakdown missing category '"
+                                  + stats::cycleCategoryToken(cat)
+                                  + "'");
+            }
+            cell.breakdown.cycles[static_cast<unsigned>(cat)] = value;
+        }
+        cell.breakdown.total = cell.cycles;
+        if (cell.breakdown.categorySum() != cell.cycles) {
+            return reject(
+                error, where + ": breakdown sums to "
+                           + std::to_string(cell.breakdown.categorySum())
+                           + " but cycles is "
+                           + std::to_string(cell.cycles));
+        }
+
+        report.cells.push_back(std::move(cell));
+    }
+    return report;
+}
+
+std::optional<BenchReport>
+loadBenchReportFile(const std::string &path, std::string *error)
+{
+    std::ifstream is(path);
+    if (!is) {
+        if (error)
+            *error = "cannot open '" + path + "' for reading";
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << is.rdbuf();
+    auto report = parseBenchReportJson(text.str(), error);
+    if (!report && error && !error->empty())
+        *error = path + ": " + *error;
+    return report;
+}
+
+namespace
+{
+
+std::string
+cellName(const BenchCell &cell)
+{
+    return machineToken(cell.machine) + "/" + kernelToken(cell.kernel);
+}
+
+} // namespace
+
+BenchDiffResult
+diffBenchReports(const BenchReport &baseline, const BenchReport &fresh,
+                 const BenchDiffOptions &opts)
+{
+    BenchDiffResult result;
+    auto failf = [&result](const std::string &line) {
+        result.failures.push_back(line);
+    };
+
+    if (baseline.configHash != fresh.configHash) {
+        failf("config hash mismatch: baseline " + baseline.configHash
+              + " vs fresh " + fresh.configHash
+              + " — the runs measured different workloads");
+    }
+    if (baseline.seed != fresh.seed) {
+        failf("seed mismatch: baseline " + std::to_string(baseline.seed)
+              + " vs fresh " + std::to_string(fresh.seed));
+    }
+
+    for (const BenchCell &cell : fresh.cells) {
+        if (!baseline.find(cell.machine, cell.kernel))
+            failf(cellName(cell) + ": not in the baseline");
+    }
+
+    for (const BenchCell &base : baseline.cells) {
+        const BenchCell *cell = fresh.find(base.machine, base.kernel);
+        if (!cell) {
+            failf(cellName(base) + ": missing from the fresh report");
+            continue;
+        }
+        ++result.cellsCompared;
+
+        if (!cell->validated)
+            failf(cellName(base) + ": output no longer validates");
+
+        const double allowed =
+            opts.tolerance * static_cast<double>(base.cycles);
+        const auto drift = [](std::uint64_t a, std::uint64_t b) {
+            return a > b ? static_cast<double>(a - b)
+                         : static_cast<double>(b - a);
+        };
+
+        if (drift(cell->cycles, base.cycles) > allowed) {
+            failf(cellName(base) + ": cycles "
+                  + std::to_string(cell->cycles) + " drifted from "
+                  + std::to_string(base.cycles) + " (tolerance "
+                  + std::to_string(opts.tolerance * 100.0) + "%)");
+        }
+        for (const auto cat : stats::allCycleCategories()) {
+            if (drift(cell->breakdown[cat], base.breakdown[cat])
+                > allowed) {
+                failf(cellName(base) + ": "
+                      + stats::cycleCategoryToken(cat) + " "
+                      + std::to_string(cell->breakdown[cat])
+                      + " drifted from "
+                      + std::to_string(base.breakdown[cat]));
+            }
+        }
+        if (base.measuredUnbalanced.has_value()
+            != cell->measuredUnbalanced.has_value()) {
+            failf(cellName(base)
+                  + ": measured_unbalanced presence changed");
+        } else if (base.measuredUnbalanced
+                   && drift(*cell->measuredUnbalanced,
+                            *base.measuredUnbalanced) > allowed) {
+            failf(cellName(base) + ": measured_unbalanced "
+                  + std::to_string(*cell->measuredUnbalanced)
+                  + " drifted from "
+                  + std::to_string(*base.measuredUnbalanced));
+        }
+    }
+    return result;
+}
+
+BenchDiffResult
+checkPaperTargets(const BenchReport &report, double factor)
+{
+    triarch_assert(factor >= 1.0, "paper-target factor must be >= 1");
+    BenchDiffResult result;
+    for (const BenchCell &cell : report.cells) {
+        ++result.cellsCompared;
+        const double paper =
+            paperTable3Kcycles(cell.machine, cell.kernel) * 1000.0;
+        const double ratio = static_cast<double>(cell.cycles) / paper;
+        if (ratio < 1.0 / factor || ratio > factor) {
+            std::ostringstream os;
+            os << cellName(cell) << ": " << cell.cycles
+               << " cycles is " << std::setprecision(3) << ratio
+               << "x the paper's Table 3 value (" << paper
+               << "), outside the " << factor << "x sanity band";
+            result.failures.push_back(os.str());
+        }
+    }
+    return result;
+}
+
+} // namespace triarch::study

@@ -25,6 +25,7 @@
 #include "kernels/beam_steering.hh"
 #include "kernels/corner_turn.hh"
 #include "kernels/cslc.hh"
+#include "sim/cycle_account.hh"
 #include "sim/types.hh"
 #include "study/machine_info.hh"
 
@@ -71,6 +72,9 @@ struct RunResult
     Cycles cycles = 0;
     /** Raw CSLC only: the measured (imbalanced) wall clock. */
     std::optional<Cycles> measuredUnbalanced;
+    /** Where the cycles went: per-category partition of `cycles`
+     *  (the categories sum exactly to it — cycle_account.hh). */
+    stats::CycleBreakdown breakdown;
     /** Output checked against the reference implementation. */
     bool validated = false;
     /** Named explanatory figures (utilization, stall fractions...). */

@@ -101,6 +101,7 @@ registerPpc(MappingRegistry &r, MachineId id, bool altivec)
                       / result.cycles);
               result.validated =
                   kernels::isTransposeOf(work.matrix, dst);
+              result.breakdown = m.cycleBreakdown(result.cycles);
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -115,6 +116,7 @@ registerPpc(MappingRegistry &r, MachineId id, bool altivec)
                                out, altivec);
               result.validated = cslcOutputValid(
                   cfg, work, out, kernels::FftAlgo::Radix2);
+              result.breakdown = m.cycleBreakdown(result.cycles);
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -128,6 +130,7 @@ registerPpc(MappingRegistry &r, MachineId id, bool altivec)
               result.cycles = ppc::beamSteeringPpc(
                   m, cfg.beam, work.tables, out, altivec);
               result.validated = out == work.beamRef;
+              result.breakdown = m.cycleBreakdown(result.cycles);
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -160,6 +163,7 @@ registerViram(MappingRegistry &r)
                       / result.cycles);
               result.validated =
                   kernels::isTransposeOf(work.matrix, dst);
+              result.breakdown = m.cycleBreakdown(result.cycles);
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -178,6 +182,7 @@ registerViram(MappingRegistry &r)
                   "viram.shuffle_fraction",
                   static_cast<double>(m.permInstructions())
                       / m.vectorInstructions());
+              result.breakdown = m.cycleBreakdown(result.cycles);
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -196,6 +201,7 @@ registerViram(MappingRegistry &r)
               result.notes.emplace_back("viram.compute_bound_fraction",
                                         compute / result.cycles);
               result.validated = out == work.beamRef;
+              result.breakdown = m.cycleBreakdown(result.cycles);
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -222,6 +228,7 @@ registerImagine(MappingRegistry &r)
                                         m.memoryFraction());
               result.validated =
                   kernels::isTransposeOf(work.matrix, dst);
+              result.breakdown = m.cycleBreakdown(result.cycles);
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -238,6 +245,7 @@ registerImagine(MappingRegistry &r)
                   cfg, work, out, kernels::FftAlgo::Mixed128);
               result.notes.emplace_back("imagine.alu_utilization",
                                         m.aluUtilization());
+              result.breakdown = m.cycleBreakdown(result.cycles);
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -253,6 +261,7 @@ registerImagine(MappingRegistry &r)
               result.notes.emplace_back("imagine.memory_fraction",
                                         m.memoryFraction());
               result.validated = out == work.beamRef;
+              result.breakdown = m.cycleBreakdown(result.cycles);
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -280,6 +289,7 @@ registerRaw(MappingRegistry &r)
                       / result.cycles / m.config().tiles());
               result.validated =
                   kernels::isTransposeOf(work.matrix, dst);
+              result.breakdown = m.cycleBreakdown(result.cycles);
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -308,6 +318,9 @@ registerRaw(MappingRegistry &r)
                   static_cast<double>(m.loadStores())
                       / (static_cast<double>(m.config().tiles())
                          * r2.cycles));
+              // result.cycles is the balanced extrapolation, not the
+              // measured wall clock: the account rescales.
+              result.breakdown = m.cycleBreakdown(result.cycles);
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -324,6 +337,7 @@ registerRaw(MappingRegistry &r)
                   "raw.loads_stores",
                   static_cast<double>(m.loadStores()));
               result.validated = out == work.beamRef;
+              result.breakdown = m.cycleBreakdown(result.cycles);
               captureStats(m.statGroup(), result);
               return result;
           });

@@ -134,6 +134,14 @@ ResultSink::writeJson(std::ostream &os) const
             os << ", \"measured_unbalanced\": "
                << *r.measuredUnbalanced;
         }
+        os << ",\n     \"breakdown\": {";
+        for (std::size_t c = 0; c < stats::kNumCycleCategories; ++c) {
+            const auto cat = stats::allCycleCategories()[c];
+            os << (c ? ", " : "") << "\""
+               << stats::cycleCategoryToken(cat)
+               << "\": " << r.breakdown[cat];
+        }
+        os << "}";
         os << ",\n     \"notes\": {";
         for (std::size_t n = 0; n < r.notes.size(); ++n) {
             os << (n ? ", " : "") << "\""

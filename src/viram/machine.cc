@@ -35,6 +35,7 @@ ViramMachine::ViramMachine(const ViramConfig &machine_config)
     group.addScalar("mem_words", &_memWords, "words moved to/from DRAM");
     group.addAverage("avg_vl", &_avgVl,
                      "mean vector length per instruction");
+    accountStats.registerIn(group);
 }
 
 Addr
@@ -132,6 +133,9 @@ ViramMachine::issue(Unit unit, Cycles busy, Cycles startup,
 
     ++_vinsts;
     _avgVl.sample(curVl);
+    timeline.add(unit == VMU ? stats::CycleCategory::DramDma
+                             : stats::CycleCategory::Compute,
+                 start, start + busy);
     switch (unit) {
       case VAU0: _vau0Busy += busy; break;
       case VAU1: _vau1Busy += busy; break;
@@ -478,6 +482,8 @@ ViramMachine::scalarOps(unsigned n)
 {
     issueCycle += n;
     _scalarCycles += n;
+    timeline.add(stats::CycleCategory::SetupReadback, issueCycle - n,
+                 issueCycle);
     lastFinish = std::max(lastFinish, issueCycle);
 }
 
@@ -485,6 +491,15 @@ Cycles
 ViramMachine::completionTime() const
 {
     return std::max(lastFinish, issueCycle);
+}
+
+stats::CycleBreakdown
+ViramMachine::cycleBreakdown(Cycles total)
+{
+    const stats::CycleBreakdown b =
+        timeline.resolve(total, stats::CycleCategory::NetworkSync);
+    accountStats.record(b);
+    return b;
 }
 
 void
@@ -495,6 +510,7 @@ ViramMachine::resetTiming()
     std::fill(std::begin(unitFree), std::end(unitFree), Cycles{0});
     std::fill(regReady.begin(), regReady.end(), Cycles{0});
     std::fill(openRow.begin(), openRow.end(), ~Addr{0});
+    timeline.clear();
     tlb.flush();
     group.resetAll();
     tlb.statGroup().resetAll();

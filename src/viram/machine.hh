@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "mem/cache.hh"
+#include "sim/cycle_account.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 #include "viram/config.hh"
@@ -137,6 +138,17 @@ class ViramMachine
     /** Cycle at which all issued work completes. */
     Cycles completionTime() const;
 
+    /**
+     * Finalize the cycle account against @p total (normally
+     * completionTime()): every wall cycle is attributed to the
+     * highest-priority busy unit covering it — VAU busy is compute,
+     * memory-unit busy (incl. row/TLB overhead) is dram_dma, scalar
+     * bookkeeping is setup_readback — and uncovered cycles (chaining
+     * and startup waits) are network/sync idle. Also records the
+     * breakdown into the stat group's account_* scalars.
+     */
+    stats::CycleBreakdown cycleBreakdown(Cycles total);
+
     /** Reset the clock, scoreboard and stats (memory survives). */
     void resetTiming();
 
@@ -205,6 +217,9 @@ class ViramMachine
     std::vector<Addr> openRow;
     mem::Tlb tlb;
 
+    // Busy intervals for the wall-clock cycle account.
+    stats::CycleTimeline timeline;
+
     // Statistics.
     stats::StatGroup group;
     stats::Scalar _vinsts;
@@ -218,6 +233,7 @@ class ViramMachine
     stats::Scalar _perms;
     stats::Scalar _memWords;
     stats::Average _avgVl;
+    stats::BreakdownStats accountStats;
 };
 
 } // namespace triarch::viram

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Tests for the cycle-accounting profiler and the perf-regression
+ * gate built on it: the exact-partition invariant of CycleAccount /
+ * CycleTimeline, the per-cell breakdowns of every machine x kernel
+ * mapping (categories sum exactly to the cell's cycles), their
+ * bit-identical determinism across thread counts, and the
+ * triarch.bench.v1 report round-trip plus bench-diff pass/fail
+ * decisions on perturbed baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/cycle_account.hh"
+#include "study/bench_report.hh"
+#include "study/parallel.hh"
+
+namespace triarch::study
+{
+namespace
+{
+
+using stats::CycleAccount;
+using stats::CycleBreakdown;
+using stats::CycleCategory;
+using stats::CycleTimeline;
+
+/** The reduced workload from test_study.cc: fast but exercises all
+ *  fifteen cells end to end. */
+StudyConfig
+smallConfig()
+{
+    StudyConfig cfg;
+    cfg.matrixSize = 128;
+    cfg.cslc.subBands = 8;
+    cfg.cslc.samples = (cfg.cslc.subBands - 1) * cfg.cslc.subBandStride
+                       + cfg.cslc.subBandLen;
+    cfg.beam.elements = 256;
+    cfg.beam.dwells = 2;
+    cfg.jammerBins = {64, 200};
+    return cfg;
+}
+
+// ---------------------------------------------------------------
+// CycleAccount: largest-remainder integerization and the
+// over/under-attribution rules.
+// ---------------------------------------------------------------
+
+TEST(CycleAccount, ExactChargesPassThrough)
+{
+    CycleAccount account;
+    account.charge(CycleCategory::Compute, 60.0);
+    account.charge(CycleCategory::DramDma, 40.0);
+    const CycleBreakdown b =
+        account.finalize(100, CycleCategory::NetworkSync);
+    EXPECT_EQ(b[CycleCategory::Compute], 60u);
+    EXPECT_EQ(b[CycleCategory::DramDma], 40u);
+    EXPECT_EQ(b[CycleCategory::NetworkSync], 0u);
+    EXPECT_EQ(b.categorySum(), b.total);
+    EXPECT_EQ(b.total, 100u);
+}
+
+TEST(CycleAccount, UnderchargeGoesToResidual)
+{
+    CycleAccount account;
+    account.charge(CycleCategory::CacheStall, 30.0);
+    const CycleBreakdown b =
+        account.finalize(100, CycleCategory::Compute);
+    EXPECT_EQ(b[CycleCategory::CacheStall], 30u);
+    EXPECT_EQ(b[CycleCategory::Compute], 70u);
+    EXPECT_EQ(b.categorySum(), 100u);
+}
+
+TEST(CycleAccount, FractionalChargesIntegerizeByLargestRemainder)
+{
+    // 33.5 + 33.4 + 33.1 = 100: floors (33,33,33) leave one cycle,
+    // which must go to the largest fractional part (Compute, .5).
+    CycleAccount account;
+    account.charge(CycleCategory::Compute, 33.5);
+    account.charge(CycleCategory::CacheStall, 33.4);
+    account.charge(CycleCategory::DramDma, 33.1);
+    const CycleBreakdown b =
+        account.finalize(100, CycleCategory::NetworkSync);
+    EXPECT_EQ(b[CycleCategory::Compute], 34u);
+    EXPECT_EQ(b[CycleCategory::CacheStall], 33u);
+    EXPECT_EQ(b[CycleCategory::DramDma], 33u);
+    EXPECT_EQ(b.categorySum(), 100u);
+}
+
+TEST(CycleAccountDeath, OverchargePanics)
+{
+    CycleAccount account;
+    account.charge(CycleCategory::Compute, 150.0);
+    EXPECT_DEATH(account.finalize(100, CycleCategory::Compute),
+                 "over-attributed");
+}
+
+TEST(CycleAccount, FinalizeScaledPreservesProportions)
+{
+    // The Raw CSLC path: measured at 200 cycles, reported at 100.
+    CycleAccount account;
+    account.charge(CycleCategory::Compute, 150.0);
+    account.charge(CycleCategory::NetworkSync, 50.0);
+    const CycleBreakdown b = account.finalizeScaled(100);
+    EXPECT_EQ(b.total, 100u);
+    EXPECT_EQ(b.categorySum(), 100u);
+    EXPECT_EQ(b[CycleCategory::Compute], 75u);
+    EXPECT_EQ(b[CycleCategory::NetworkSync], 25u);
+}
+
+// ---------------------------------------------------------------
+// CycleTimeline: priority resolution of overlapped intervals.
+// ---------------------------------------------------------------
+
+TEST(CycleTimeline, OverlapResolvesToHighestPriority)
+{
+    // Compute [10, 20) overlaps DramDma [15, 30): the overlapped
+    // cycles count as compute (declaration order = priority), the
+    // uncovered head/tail go to the gap category.
+    CycleTimeline timeline;
+    timeline.add(CycleCategory::DramDma, 15, 30);
+    timeline.add(CycleCategory::Compute, 10, 20);
+    const CycleBreakdown b =
+        timeline.resolve(40, CycleCategory::NetworkSync);
+    EXPECT_EQ(b[CycleCategory::Compute], 10u);
+    EXPECT_EQ(b[CycleCategory::DramDma], 10u);
+    EXPECT_EQ(b[CycleCategory::NetworkSync], 20u);
+    EXPECT_EQ(b.categorySum(), 40u);
+}
+
+TEST(CycleTimeline, IntervalsPastTotalAreClipped)
+{
+    CycleTimeline timeline;
+    timeline.add(CycleCategory::Compute, 5, 100);
+    const CycleBreakdown b =
+        timeline.resolve(10, CycleCategory::NetworkSync);
+    EXPECT_EQ(b[CycleCategory::Compute], 5u);
+    EXPECT_EQ(b[CycleCategory::NetworkSync], 5u);
+    EXPECT_EQ(b.categorySum(), 10u);
+}
+
+TEST(CycleTimeline, EmptyTimelineIsAllGap)
+{
+    CycleTimeline timeline;
+    const CycleBreakdown b =
+        timeline.resolve(7, CycleCategory::SetupReadback);
+    EXPECT_EQ(b[CycleCategory::SetupReadback], 7u);
+    EXPECT_EQ(b.categorySum(), 7u);
+}
+
+// ---------------------------------------------------------------
+// The profiler invariant across every machine x kernel cell.
+// ---------------------------------------------------------------
+
+TEST(BreakdownInvariant, CategoriesSumToTotalForEveryCell)
+{
+    Runner runner(smallConfig());
+    const std::vector<RunResult> results = runner.runAll();
+    ASSERT_EQ(results.size(), 15u);
+    for (const RunResult &r : results) {
+        SCOPED_TRACE(machineName(r.machine) + " / "
+                     + kernelName(r.kernel));
+        EXPECT_EQ(r.breakdown.total, r.cycles);
+        EXPECT_EQ(r.breakdown.categorySum(), r.cycles);
+        // A cell that runs at all must attribute its cycles to
+        // something.
+        EXPECT_GT(r.cycles, 0u);
+    }
+}
+
+TEST(BreakdownInvariant, StreamModeHasNoCacheStalls)
+{
+    // Imagine has no caches: all memory time is stream transfers,
+    // so cache_stall is structurally zero (the paper's stream-mode
+    // argument, Section 4.1). VIRAM's on-chip DRAM likewise.
+    Runner runner(smallConfig());
+    for (KernelId kernel : allKernels()) {
+        const RunResult imagine =
+            runner.run(MachineId::Imagine, kernel);
+        EXPECT_EQ(imagine.breakdown[CycleCategory::CacheStall], 0u)
+            << kernelName(kernel);
+        const RunResult viram = runner.run(MachineId::Viram, kernel);
+        EXPECT_EQ(viram.breakdown[CycleCategory::CacheStall], 0u)
+            << kernelName(kernel);
+    }
+}
+
+TEST(BreakdownInvariant, BitIdenticalAcrossThreadCounts)
+{
+    const StudyConfig cfg = smallConfig();
+    Runner serial(cfg);
+    const std::vector<RunResult> expect = serial.runAll();
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ParallelRunner par(cfg, threads, nullptr,
+                           ParallelRunner::noCache());
+        const std::vector<RunResult> got = par.runAll();
+        ASSERT_EQ(got.size(), expect.size());
+        for (std::size_t i = 0; i < expect.size(); ++i) {
+            EXPECT_EQ(got[i].breakdown, expect[i].breakdown)
+                << threads << " threads, cell " << i;
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// The triarch.bench.v1 report: build, write, parse round-trip.
+// ---------------------------------------------------------------
+
+/** Report for the small config, computed once (the suite's cells
+ *  are deterministic, so sharing is safe). */
+const BenchReport &
+smallReport()
+{
+    static const BenchReport report = [] {
+        const StudyConfig cfg = smallConfig();
+        Runner runner(cfg);
+        return buildBenchReport(cfg, runner.runAll());
+    }();
+    return report;
+}
+
+TEST(BenchReport, RoundTripsThroughJson)
+{
+    const BenchReport &report = smallReport();
+    EXPECT_EQ(report.schema, benchSchema());
+    EXPECT_EQ(report.cells.size(), 15u);
+
+    std::ostringstream os;
+    writeBenchReportJson(report, os);
+    std::string error;
+    const auto parsed = parseBenchReportJson(os.str(), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(*parsed, report);
+}
+
+TEST(BenchReport, ParserRejectsMalformedDocuments)
+{
+    std::string error;
+    EXPECT_FALSE(parseBenchReportJson("", &error));
+    EXPECT_FALSE(parseBenchReportJson("{]", &error));
+    EXPECT_FALSE(parseBenchReportJson("{}", &error));
+
+    // Wrong schema.
+    EXPECT_FALSE(parseBenchReportJson(
+        R"({"schema": "triarch.bench.v0", "config_hash": "x",
+            "seed": 1, "cells": []})",
+        &error));
+    EXPECT_NE(error.find("schema"), std::string::npos) << error;
+
+    // A breakdown that does not sum to the cycle count must be
+    // rejected at the parse boundary: it violates the document's
+    // core invariant.
+    EXPECT_FALSE(parseBenchReportJson(
+        R"({"schema": "triarch.bench.v1", "config_hash": "x",
+            "seed": 1, "cells": [
+              {"machine": "ppc", "kernel": "ct", "cycles": 100,
+               "validated": true,
+               "breakdown": {"compute": 50, "cache_stall": 0,
+                             "dram_dma": 0, "network_sync": 0,
+                             "setup_readback": 0}}]})",
+        &error));
+    EXPECT_NE(error.find("sums to 50"), std::string::npos) << error;
+
+    // Unknown machine token.
+    EXPECT_FALSE(parseBenchReportJson(
+        R"({"schema": "triarch.bench.v1", "config_hash": "x",
+            "seed": 1, "cells": [
+              {"machine": "cray", "kernel": "ct", "cycles": 1,
+               "validated": true,
+               "breakdown": {"compute": 1, "cache_stall": 0,
+                             "dram_dma": 0, "network_sync": 0,
+                             "setup_readback": 0}}]})",
+        &error));
+    EXPECT_NE(error.find("cray"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------
+// The diff gate: identical reports pass; perturbed baselines fail
+// with named cells.
+// ---------------------------------------------------------------
+
+TEST(BenchDiff, IdenticalReportsPass)
+{
+    const BenchReport &report = smallReport();
+    const BenchDiffResult diff = diffBenchReports(report, report);
+    EXPECT_TRUE(diff.ok());
+    EXPECT_EQ(diff.cellsCompared, 15u);
+}
+
+TEST(BenchDiff, PerturbedTotalFails)
+{
+    const BenchReport &fresh = smallReport();
+    BenchReport baseline = fresh;
+    // Drift one cell by 10% — far past the 0.5% default tolerance.
+    // The breakdown moves with the total so the perturbed document
+    // still satisfies the partition invariant.
+    BenchCell &cell = baseline.cells[0];
+    const std::uint64_t delta = cell.cycles / 10;
+    ASSERT_GT(delta, 0u);
+    cell.cycles += delta;
+    cell.breakdown.total += delta;
+    cell.breakdown.cycles[0] += delta;
+
+    const BenchDiffResult diff = diffBenchReports(baseline, fresh);
+    EXPECT_FALSE(diff.ok());
+    // Both the total and the compute category drifted.
+    EXPECT_GE(diff.failures.size(), 2u);
+    EXPECT_NE(diff.failures[0].find("cycles"), std::string::npos);
+}
+
+TEST(BenchDiff, PerturbationWithinToleranceVanishes)
+{
+    const BenchReport &fresh = smallReport();
+    BenchReport baseline = fresh;
+    BenchCell &cell = baseline.cells[0];
+    // 0.1% drift, checked against a 0.5% tolerance.
+    const std::uint64_t delta = cell.cycles / 1000;
+    cell.cycles += delta;
+    cell.breakdown.total += delta;
+    cell.breakdown.cycles[0] += delta;
+
+    EXPECT_TRUE(diffBenchReports(baseline, fresh).ok());
+
+    BenchDiffOptions tight;
+    tight.tolerance = 0.0001;
+    EXPECT_FALSE(diffBenchReports(baseline, fresh, tight).ok());
+}
+
+TEST(BenchDiff, CategoryShiftAtConstantTotalFails)
+{
+    // The profiler's whole point: moving cycles between categories
+    // is a regression even when the total is unchanged.
+    const BenchReport &fresh = smallReport();
+    BenchReport baseline = fresh;
+    BenchCell &cell = baseline.cells[0];
+    const std::uint64_t shift = cell.cycles / 10;
+    ASSERT_GE(cell.breakdown.cycles[0], shift);
+    cell.breakdown.cycles[0] -= shift;
+    cell.breakdown.cycles[1] += shift;
+
+    const BenchDiffResult diff = diffBenchReports(baseline, fresh);
+    EXPECT_FALSE(diff.ok());
+}
+
+TEST(BenchDiff, ConfigHashMismatchFails)
+{
+    const BenchReport &fresh = smallReport();
+    BenchReport baseline = fresh;
+    baseline.configHash = "deadbeef";
+    const BenchDiffResult diff = diffBenchReports(baseline, fresh);
+    ASSERT_FALSE(diff.ok());
+    EXPECT_NE(diff.failures[0].find("config hash"), std::string::npos);
+}
+
+TEST(BenchDiff, MissingCellFails)
+{
+    const BenchReport &fresh = smallReport();
+    BenchReport truncated = fresh;
+    truncated.cells.pop_back();
+
+    // Fresh report lost a cell the baseline has.
+    EXPECT_FALSE(diffBenchReports(fresh, truncated).ok());
+    // Fresh report grew a cell the baseline lacks.
+    EXPECT_FALSE(diffBenchReports(truncated, fresh).ok());
+}
+
+TEST(BenchDiff, InvalidatedCellFails)
+{
+    const BenchReport &baseline = smallReport();
+    BenchReport fresh = baseline;
+    fresh.cells[3].validated = false;
+    const BenchDiffResult diff = diffBenchReports(baseline, fresh);
+    ASSERT_FALSE(diff.ok());
+    EXPECT_NE(diff.failures[0].find("validate"), std::string::npos);
+}
+
+TEST(BenchDiff, PaperTargetBandCatchesGrossDrift)
+{
+    // The small config is NOT the paper's workload, so judge the
+    // band logic on synthetic data anchored at the paper's values.
+    BenchReport report;
+    report.schema = benchSchema();
+    BenchCell cell;
+    cell.machine = MachineId::Viram;
+    cell.kernel = KernelId::Cslc;
+    cell.validated = true;
+    cell.cycles = static_cast<Cycles>(
+        paperTable3Kcycles(cell.machine, cell.kernel) * 1000.0);
+    cell.breakdown.total = cell.cycles;
+    cell.breakdown.cycles[0] = cell.cycles;
+    report.cells.push_back(cell);
+    EXPECT_TRUE(checkPaperTargets(report, 2.0).ok());
+
+    report.cells[0].cycles *= 3;
+    report.cells[0].breakdown.total = report.cells[0].cycles;
+    report.cells[0].breakdown.cycles[0] = report.cells[0].cycles;
+    EXPECT_FALSE(checkPaperTargets(report, 2.0).ok());
+}
+
+} // namespace
+} // namespace triarch::study
