@@ -1,16 +1,10 @@
 #include "bench_main.hh"
 
-#include <cctype>
-#include <cerrno>
-#include <cstdlib>
-#include <filesystem>
 #include <iostream>
-#include <limits>
-#include <sstream>
 
-#include "sim/logging.hh"
 #include "sim/metrics.hh"
 #include "sim/trace.hh"
+#include "study/cli_options.hh"
 #include "study/registry.hh"
 
 namespace triarch::bench
@@ -22,35 +16,13 @@ namespace
 using study::KernelId;
 using study::MachineId;
 
-/** Split "a,b,c" into tokens. */
-std::vector<std::string>
-splitList(const std::string &arg)
-{
-    std::vector<std::string> tokens;
-    std::istringstream is(arg);
-    std::string tok;
-    while (std::getline(is, tok, ',')) {
-        if (!tok.empty())
-            tokens.push_back(tok);
-    }
-    return tokens;
-}
-
-std::string
-lowered(std::string s)
-{
-    for (char &c : s)
-        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    return s;
-}
-
 bool
 parseMachine(const std::string &tok, MachineId &out)
 {
-    const std::string t = lowered(tok);
+    const std::string t = study::lowered(tok);
     for (MachineId id : study::allMachines()) {
         if (t == study::machineToken(id)
-            || t == lowered(study::machineName(id))) {
+            || t == study::lowered(study::machineName(id))) {
             out = id;
             return true;
         }
@@ -61,9 +33,9 @@ parseMachine(const std::string &tok, MachineId &out)
 bool
 parseKernel(const std::string &tok, KernelId &out)
 {
-    const std::string t = lowered(tok);
+    const std::string t = study::lowered(tok);
     for (KernelId id : study::allKernels()) {
-        std::string name = lowered(study::kernelName(id));
+        std::string name = study::lowered(study::kernelName(id));
         std::erase(name, ' ');
         if (t == study::kernelToken(id) || t == name) {
             out = id;
@@ -71,59 +43,6 @@ parseKernel(const std::string &tok, KernelId &out)
         }
     }
     return false;
-}
-
-/**
- * Make sure an output path's parent directory exists before any
- * simulation time is spent: "--stats out/run1/stats.json" in a fresh
- * checkout creates out/run1/ on demand, and a parent that cannot be
- * created (e.g. a path component is a regular file) is a usage error
- * reported up front with exit 2, not an fopen failure after the run.
- */
-void
-ensureParentDir(const char *flag, const std::string &path,
-                const char *prog)
-{
-    if (path.empty())
-        return;
-    const std::filesystem::path parent =
-        std::filesystem::path(path).parent_path();
-    if (parent.empty())
-        return;
-    std::error_code ec;
-    std::filesystem::create_directories(parent, ec);
-    if (ec) {
-        std::cerr << prog << ": " << flag << " '" << path
-                  << "': cannot create parent directory '"
-                  << parent.string() << "': " << ec.message() << "\n";
-        std::exit(2);
-    }
-}
-
-void
-usage(std::ostream &os, const char *prog, const char *description)
-{
-    os << prog << " — " << description << "\n\n"
-       << "Options:\n"
-          "  --machines a,b,...  platforms to run "
-          "(ppc, altivec, viram, imagine, raw; default all)\n"
-          "  --kernels a,b,...   kernels to run "
-          "(ct, cslc, bs; default all)\n"
-          "  --threads N         worker threads "
-          "(default 0 = hardware concurrency)\n"
-          "  --seed N            workload synthesis seed "
-          "(default 11)\n"
-          "  --json PATH         write structured results JSON\n"
-          "  --csv               machine-readable table output "
-          "where supported\n"
-          "  --trace PATH        write a Chrome trace-event JSON "
-          "timeline (chrome://tracing, Perfetto)\n"
-          "  --stats PATH        write a triarch.stats.v1 counters "
-          "document\n"
-          "  --log-level LEVEL   quiet, warn, inform, or debug "
-          "(default warn)\n"
-          "  --help              this message\n"
-          "\nFlags accept both '--flag value' and '--flag=value'.\n";
 }
 
 } // namespace
@@ -197,144 +116,87 @@ benchMain(int argc, char **argv, const char *description,
           BenchBody body)
 {
     BenchOptions opts;
-    const char *prog = argc > 0 ? argv[0] : "bench";
+    study::CliOptions cli(description);
 
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
+    cli.value("--machines", "a,b,...",
+              "platforms to run "
+              "(ppc, altivec, viram, imagine, raw; default all)",
+              [&](const std::string &v) {
+                  for (const std::string &tok : study::splitList(v)) {
+                      MachineId id;
+                      if (!parseMachine(tok, id)) {
+                          std::cerr << cli.prog()
+                                    << ": unknown machine '" << tok
+                                    << "'\n";
+                          return 2;
+                      }
+                      opts.machines.push_back(id);
+                  }
+                  return 0;
+              });
+    cli.value("--kernels", "a,b,...",
+              "kernels to run (ct, cslc, bs; default all)",
+              [&](const std::string &v) {
+                  for (const std::string &tok : study::splitList(v)) {
+                      KernelId id;
+                      if (!parseKernel(tok, id)) {
+                          std::cerr << cli.prog()
+                                    << ": unknown kernel '" << tok
+                                    << "'\n";
+                          return 2;
+                      }
+                      opts.kernels.push_back(id);
+                  }
+                  return 0;
+              });
+    // 0 stays valid (hardware concurrency, as documented in --help);
+    // the cap stops silent 32-bit truncation.
+    cli.number("--threads", "N",
+               "worker threads (default 0 = hardware concurrency)",
+               std::numeric_limits<unsigned>::max(),
+               [&](std::uint64_t n) {
+                   opts.threads = static_cast<unsigned>(n);
+                   return 0;
+               });
+    cli.number("--seed", "N", "workload synthesis seed (default 11)",
+               std::numeric_limits<std::uint64_t>::max(),
+               [&](std::uint64_t n) {
+                   opts.seed = n;
+                   return 0;
+               });
+    cli.value("--json", "PATH", "write structured results JSON",
+              [&](const std::string &v) {
+                  opts.jsonPath = v;
+                  return 0;
+              });
+    cli.toggle("--csv",
+               "machine-readable table output where supported",
+               [&]() {
+                   opts.csv = true;
+                   return 0;
+               });
+    cli.value("--trace", "PATH",
+              "write a Chrome trace-event JSON timeline "
+              "(chrome://tracing, Perfetto)",
+              [&](const std::string &v) {
+                  opts.tracePath = v;
+                  return 0;
+              });
+    cli.value("--stats", "PATH",
+              "write a triarch.stats.v1 counters document",
+              [&](const std::string &v) {
+                  opts.statsPath = v;
+                  return 0;
+              });
+    cli.logLevelFlag();
 
-        // Accept --flag=value alongside --flag value.
-        std::string inlineValue;
-        bool haveInline = false;
-        if (arg.size() > 2 && arg.compare(0, 2, "--") == 0) {
-            if (const auto eq = arg.find('='); eq != std::string::npos) {
-                inlineValue = arg.substr(eq + 1);
-                arg.erase(eq);
-                haveInline = true;
-            }
-        }
+    if (const auto rc = cli.parse(argc, argv))
+        return *rc;
+    const char *prog = cli.prog();
 
-        auto needValue = [&](const char *flag) -> std::string {
-            if (haveInline)
-                return inlineValue;
-            if (i + 1 >= argc) {
-                std::cerr << prog << ": " << flag
-                          << " needs a value\n";
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-
-        // Value-less flags must not be handed one via --flag=value.
-        auto noValue = [&](const char *flag) {
-            if (haveInline) {
-                std::cerr << prog << ": " << flag
-                          << " does not take a value (got '"
-                          << inlineValue << "')\n";
-                std::exit(2);
-            }
-        };
-
-        auto needNumber =
-            [&](const char *flag,
-                std::uint64_t maxValue =
-                    std::numeric_limits<std::uint64_t>::max())
-            -> std::uint64_t {
-            const std::string v = needValue(flag);
-            // strtoull wraps negative input ("-1" parses as 2^64-1),
-            // so any non-digit lead byte is rejected up front.
-            if (v.empty()
-                || !std::isdigit(static_cast<unsigned char>(v[0]))) {
-                std::cerr << prog << ": " << flag
-                          << " needs a non-negative number, got '"
-                          << v << "'\n";
-                std::exit(2);
-            }
-            errno = 0;
-            char *end = nullptr;
-            const std::uint64_t n = std::strtoull(v.c_str(), &end, 10);
-            if (end == v.c_str() || *end != '\0') {
-                std::cerr << prog << ": " << flag
-                          << " needs a non-negative number, got '"
-                          << v << "'\n";
-                std::exit(2);
-            }
-            if (errno == ERANGE || n > maxValue) {
-                std::cerr << prog << ": " << flag << " value '" << v
-                          << "' is out of range (max " << maxValue
-                          << ")\n";
-                std::exit(2);
-            }
-            return n;
-        };
-
-        if (arg == "--help" || arg == "-h") {
-            noValue("--help");
-            usage(std::cout, prog, description);
-            return 0;
-        } else if (arg == "--machines") {
-            for (const std::string &tok :
-                 splitList(needValue("--machines"))) {
-                MachineId id;
-                if (!parseMachine(tok, id)) {
-                    std::cerr << prog << ": unknown machine '" << tok
-                              << "'\n";
-                    return 2;
-                }
-                opts.machines.push_back(id);
-            }
-        } else if (arg == "--kernels") {
-            for (const std::string &tok :
-                 splitList(needValue("--kernels"))) {
-                KernelId id;
-                if (!parseKernel(tok, id)) {
-                    std::cerr << prog << ": unknown kernel '" << tok
-                              << "'\n";
-                    return 2;
-                }
-                opts.kernels.push_back(id);
-            }
-        } else if (arg == "--threads") {
-            // 0 stays valid (hardware concurrency, as documented in
-            // --help); the cap stops silent 32-bit truncation.
-            opts.threads = static_cast<unsigned>(needNumber(
-                "--threads", std::numeric_limits<unsigned>::max()));
-        } else if (arg == "--seed") {
-            opts.seed = needNumber("--seed");
-        } else if (arg == "--json") {
-            opts.jsonPath = needValue("--json");
-        } else if (arg == "--trace") {
-            opts.tracePath = needValue("--trace");
-        } else if (arg == "--stats") {
-            opts.statsPath = needValue("--stats");
-        } else if (arg == "--log-level") {
-            const std::string v = lowered(needValue("--log-level"));
-            if (v == "quiet") {
-                setLogLevel(LogLevel::Quiet);
-            } else if (v == "warn") {
-                setLogLevel(LogLevel::Warn);
-            } else if (v == "inform") {
-                setLogLevel(LogLevel::Inform);
-            } else if (v == "debug") {
-                setLogLevel(LogLevel::Debug);
-            } else {
-                std::cerr << prog << ": unknown log level '" << v
-                          << "' (quiet, warn, inform, debug)\n";
-                return 2;
-            }
-        } else if (arg == "--csv") {
-            noValue("--csv");
-            opts.csv = true;
-        } else {
-            std::cerr << prog << ": unknown option '" << arg
-                      << "'\n\n";
-            usage(std::cerr, prog, description);
-            return 2;
-        }
-    }
-
-    ensureParentDir("--json", opts.jsonPath, prog);
-    ensureParentDir("--trace", opts.tracePath, prog);
-    ensureParentDir("--stats", opts.statsPath, prog);
+    study::ensureParentDir("--json", opts.jsonPath, prog);
+    study::ensureParentDir("--trace", opts.tracePath, prog);
+    study::ensureParentDir("--stats", opts.statsPath, prog);
 
     // The session must outlive the context: the runner's worker
     // threads (and their buffered events) drain in ~BenchContext.

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * triarch_client: submit a (machine x kernel) sweep to a running
+ * triarchd and print the per-cell cycle counts. By default the full
+ * 15-cell Table-3 grid is requested in one triarch.job.v1 batch.
+ *
+ * --verify recomputes every cell in-process (the one-shot
+ * ParallelRunner path, no cache) and fails unless the daemon's
+ * results are bit-identical — the check that simulation-as-a-service
+ * returns exactly what a local run returns. --min-cache-hits N fails
+ * unless the daemon answered at least N cells from its shared cache,
+ * which is how CI asserts that a repeated sweep actually hit.
+ */
+
+#include <iomanip>
+#include <iostream>
+#include <limits>
+#include <optional>
+
+#include "serve/client.hh"
+#include "study/cli_options.hh"
+#include "study/machine_info.hh"
+#include "study/parallel.hh"
+#include "study/result_sink.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace triarch;
+
+    std::string socketPath;
+    std::optional<std::uint16_t> tcpPort;
+    std::string jobId = "triarch_client";
+    std::vector<study::MachineId> machines;
+    std::vector<study::KernelId> kernels;
+    std::uint64_t seed = 11;
+    std::string jsonPath;
+    bool verify = false;
+    std::uint64_t minCacheHits = 0;
+
+    study::CliOptions cli(
+        "submit a kernel sweep to a running triarchd", "triarch_client");
+    cli.value("--socket", "PATH", "connect to this AF_UNIX socket",
+              [&](const std::string &v) {
+                  socketPath = v;
+                  return 0;
+              });
+    cli.number("--port", "N", "connect to this TCP loopback port",
+               std::numeric_limits<std::uint16_t>::max(),
+               [&](std::uint64_t n) {
+                   tcpPort = static_cast<std::uint16_t>(n);
+                   return 0;
+               });
+    cli.value("--machines", "a,b,...",
+              "platforms to request "
+              "(ppc, altivec, viram, imagine, raw; default all)",
+              [&](const std::string &v) {
+                  for (const std::string &tok : study::splitList(v)) {
+                      const auto id = study::parseMachineToken(
+                          study::lowered(tok));
+                      if (!id) {
+                          std::cerr << cli.prog()
+                                    << ": unknown machine '" << tok
+                                    << "'\n";
+                          return 2;
+                      }
+                      machines.push_back(*id);
+                  }
+                  return 0;
+              });
+    cli.value("--kernels", "a,b,...",
+              "kernels to request (ct, cslc, bs; default all)",
+              [&](const std::string &v) {
+                  for (const std::string &tok : study::splitList(v)) {
+                      const auto id = study::parseKernelToken(
+                          study::lowered(tok));
+                      if (!id) {
+                          std::cerr << cli.prog()
+                                    << ": unknown kernel '" << tok
+                                    << "'\n";
+                          return 2;
+                      }
+                      kernels.push_back(*id);
+                  }
+                  return 0;
+              });
+    cli.number("--seed", "N", "workload synthesis seed (default 11)",
+               std::numeric_limits<std::uint64_t>::max(),
+               [&](std::uint64_t n) {
+                   seed = n;
+                   return 0;
+               });
+    cli.value("--id", "NAME", "job id echoed in the response",
+              [&](const std::string &v) {
+                  jobId = v;
+                  return 0;
+              });
+    cli.value("--json", "PATH",
+              "write the sweep as a triarch.results.v1 document",
+              [&](const std::string &v) {
+                  jsonPath = v;
+                  return 0;
+              });
+    cli.toggle("--verify",
+               "recompute locally and require bit-identical results",
+               [&]() {
+                   verify = true;
+                   return 0;
+               });
+    cli.number("--min-cache-hits", "N",
+               "fail unless the daemon served >= N cells from cache",
+               std::numeric_limits<std::uint64_t>::max(),
+               [&](std::uint64_t n) {
+                   minCacheHits = n;
+                   return 0;
+               });
+    cli.logLevelFlag();
+
+    if (const auto rc = cli.parse(argc, argv))
+        return *rc;
+    const char *prog = cli.prog();
+
+    if (socketPath.empty() == !tcpPort) {
+        std::cerr << prog
+                  << ": need exactly one of --socket PATH or "
+                     "--port N\n";
+        return 2;
+    }
+    study::ensureParentDir("--json", jsonPath, prog);
+
+    serve::JobRequest request;
+    request.id = jobId;
+    request.config.seed = seed;
+    if (machines.empty())
+        machines = study::allMachines();
+    if (kernels.empty())
+        kernels = study::allKernels();
+    for (study::MachineId machine : machines) {
+        for (study::KernelId kernel : kernels)
+            request.cells.push_back({machine, kernel});
+    }
+
+    std::string error;
+    serve::Client client =
+        socketPath.empty()
+            ? serve::Client::connectTcp(*tcpPort, &error)
+            : serve::Client::connectUnix(socketPath, &error);
+    if (!client.connected()) {
+        std::cerr << prog << ": " << error << "\n";
+        return 1;
+    }
+
+    const auto response = client.call(request, &error);
+    if (!response) {
+        std::cerr << prog << ": " << error << "\n";
+        return 1;
+    }
+    if (!response->ok()) {
+        std::cerr << prog << ": daemon refused job '" << response->id
+                  << "': "
+                  << serve::jobErrorCodeToken(response->error->code)
+                  << ": " << response->error->message << "\n";
+        return 1;
+    }
+    if (response->results.size() != request.cells.size()) {
+        std::cerr << prog << ": expected " << request.cells.size()
+                  << " results, got " << response->results.size()
+                  << "\n";
+        return 1;
+    }
+
+    std::uint64_t cacheHits = 0;
+    std::cout << "machine/kernel        cycles  source\n";
+    for (const serve::CellResult &cell : response->results) {
+        if (cell.cached)
+            ++cacheHits;
+        std::string name = study::machineToken(cell.result.machine)
+                           + "/" + study::kernelToken(cell.result.kernel);
+        name.resize(18, ' ');
+        std::cout << name << std::setw(12) << cell.result.cycles
+                  << "  " << (cell.cached ? "cache" : "computed")
+                  << "\n";
+    }
+    std::cout << cacheHits << "/" << response->results.size()
+              << " cells served from the daemon cache\n";
+
+    if (cacheHits < minCacheHits) {
+        std::cerr << prog << ": expected at least " << minCacheHits
+                  << " cache hits, saw " << cacheHits << "\n";
+        return 1;
+    }
+
+    study::StudyConfig cfg;
+    cfg.seed = seed;
+
+    if (verify) {
+        // The one-shot path: same config, fresh local computation,
+        // no cache. Bit-identical RunResults or the daemon lied.
+        study::ParallelRunner runner(cfg, 0, nullptr,
+                                     study::ParallelRunner::noCache());
+        const auto local = runner.runCells(request.cells);
+        std::size_t mismatches = 0;
+        for (std::size_t i = 0; i < local.size(); ++i) {
+            if (!(local[i] == response->results[i].result)) {
+                std::cerr << prog << ": mismatch at "
+                          << study::machineToken(local[i].machine)
+                          << "/" << study::kernelToken(local[i].kernel)
+                          << ": local " << local[i].cycles
+                          << " cycles vs daemon "
+                          << response->results[i].result.cycles << "\n";
+                ++mismatches;
+            }
+        }
+        if (mismatches) {
+            std::cerr << prog << ": " << mismatches << "/"
+                      << local.size()
+                      << " cells differ from the one-shot path\n";
+            return 1;
+        }
+        std::cout << "verified: all " << local.size()
+                  << " cells bit-identical to the one-shot path\n";
+    }
+
+    if (!jsonPath.empty()) {
+        study::ResultSink sink(cfg);
+        for (const serve::CellResult &cell : response->results)
+            sink.add(cell.result);
+        sink.metadata("bench", prog);
+        sink.metadata("daemon", socketPath.empty()
+                                    ? "127.0.0.1:"
+                                          + std::to_string(*tcpPort)
+                                    : socketPath);
+        sink.writeJsonFile(jsonPath);
+        std::cout << "results written to " << jsonPath << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * triarchd: the persistent experiment daemon. Wraps the
+ * ExperimentService (MappingRegistry + shared ResultCache + worker
+ * pool) behind a line-delimited triarch.job.v1 socket API, over an
+ * AF_UNIX path (--socket) or a TCP loopback port (--port; 0 picks an
+ * ephemeral port, printed on startup).
+ *
+ * SIGTERM/SIGINT drain gracefully: new jobs are refused with a typed
+ * "draining" error, every accepted cell finishes and its response is
+ * written, the result cache is persisted (--cache-file), the final
+ * stats document is emitted (--stats), and the daemon exits 0.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <iostream>
+#include <limits>
+#include <optional>
+#include <poll.h>
+#include <unistd.h>
+
+#include "serve/server.hh"
+#include "serve/service.hh"
+#include "sim/logging.hh"
+#include "sim/metrics.hh"
+#include "sim/trace.hh"
+#include "study/cli_options.hh"
+
+namespace
+{
+
+/** Written by the signal handler, polled by main. */
+int signalPipe[2] = {-1, -1};
+
+void
+onSignal(int)
+{
+    const char byte = 1;
+    (void)!::write(signalPipe[1], &byte, 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace triarch;
+
+    std::string socketPath;
+    std::optional<std::uint16_t> tcpPort;
+    unsigned workers = 0;
+    std::size_t queueDepth = 256;
+    std::string cacheFile;
+    std::size_t cacheEntries = 4096;
+    std::size_t cacheMib = 256;
+    std::string statsPath;
+    std::string tracePath;
+
+    study::CliOptions cli(
+        "persistent experiment daemon serving triarch.job.v1 batches",
+        "triarchd");
+    cli.value("--socket", "PATH", "listen on this AF_UNIX socket",
+              [&](const std::string &v) {
+                  socketPath = v;
+                  return 0;
+              });
+    cli.number("--port", "N",
+               "listen on this TCP loopback port (0 = ephemeral)",
+               std::numeric_limits<std::uint16_t>::max(),
+               [&](std::uint64_t n) {
+                   tcpPort = static_cast<std::uint16_t>(n);
+                   return 0;
+               });
+    cli.number("--threads", "N",
+               "worker threads (default 0 = hardware concurrency)",
+               std::numeric_limits<unsigned>::max(),
+               [&](std::uint64_t n) {
+                   workers = static_cast<unsigned>(n);
+                   return 0;
+               });
+    cli.number("--queue-depth", "N",
+               "max outstanding cells before jobs are refused "
+               "(default 256)",
+               std::numeric_limits<std::uint32_t>::max(),
+               [&](std::uint64_t n) {
+                   queueDepth = static_cast<std::size_t>(n);
+                   return 0;
+               });
+    cli.value("--cache-file", "PATH",
+              "load the result cache at startup, save it on drain",
+              [&](const std::string &v) {
+                  cacheFile = v;
+                  return 0;
+              });
+    cli.number("--cache-entries", "N",
+               "result cache entry bound (default 4096)",
+               std::numeric_limits<std::uint32_t>::max(),
+               [&](std::uint64_t n) {
+                   cacheEntries = static_cast<std::size_t>(n);
+                   return 0;
+               });
+    cli.number("--cache-mib", "N",
+               "result cache byte bound in MiB (default 256)",
+               std::numeric_limits<std::uint32_t>::max(),
+               [&](std::uint64_t n) {
+                   cacheMib = static_cast<std::size_t>(n);
+                   return 0;
+               });
+    cli.value("--stats", "PATH",
+              "write a triarch.stats.v1 counters document on exit",
+              [&](const std::string &v) {
+                  statsPath = v;
+                  return 0;
+              });
+    cli.value("--trace", "PATH",
+              "write a Chrome trace-event JSON timeline on exit",
+              [&](const std::string &v) {
+                  tracePath = v;
+                  return 0;
+              });
+    cli.logLevelFlag();
+
+    if (const auto rc = cli.parse(argc, argv))
+        return *rc;
+    const char *prog = cli.prog();
+
+    if (socketPath.empty() && !tcpPort) {
+        std::cerr << prog
+                  << ": need --socket PATH or --port N to listen on\n";
+        return 2;
+    }
+    study::ensureParentDir("--cache-file", cacheFile, prog);
+    study::ensureParentDir("--stats", statsPath, prog);
+    study::ensureParentDir("--trace", tracePath, prog);
+
+    std::unique_ptr<trace::TraceSession> session;
+    if (!tracePath.empty()) {
+        session = std::make_unique<trace::TraceSession>();
+        session->start();
+    }
+
+    study::ResultCache cache(study::CacheCapacity{
+        cacheEntries, cacheMib * 1024 * 1024});
+    if (!cacheFile.empty()) {
+        std::string error;
+        const auto loaded = cache.loadFile(cacheFile, &error);
+        if (!loaded) {
+            std::cerr << prog << ": --cache-file: " << error << "\n";
+            return 1;
+        }
+        if (*loaded > 0) {
+            std::cout << "loaded " << *loaded
+                      << " cached cells from " << cacheFile << "\n";
+        }
+    }
+    metrics::MetricsRegistry::global().registerLive(
+        &cache.statGroup());
+
+    serve::ServiceOptions serviceOpts;
+    serviceOpts.workers = workers;
+    serviceOpts.maxOutstandingCells = queueDepth;
+
+    int exitCode = 0;
+    {
+        serve::ExperimentService service(serviceOpts, nullptr, &cache);
+
+        serve::ServerOptions serverOpts;
+        serverOpts.unixPath = socketPath;
+        serverOpts.port = tcpPort.value_or(0);
+        serve::SocketServer server(service, serverOpts);
+
+        std::string error;
+        if (!server.start(&error)) {
+            std::cerr << prog << ": " << error << "\n";
+            return 1;
+        }
+        if (!socketPath.empty()) {
+            std::cout << "triarchd listening on " << socketPath
+                      << std::endl;
+        } else {
+            std::cout << "triarchd listening on 127.0.0.1:"
+                      << server.port() << std::endl;
+        }
+
+        if (::pipe(signalPipe) != 0) {
+            std::cerr << prog << ": cannot create signal pipe\n";
+            return 1;
+        }
+        struct sigaction action{};
+        action.sa_handler = onSignal;
+        ::sigaction(SIGTERM, &action, nullptr);
+        ::sigaction(SIGINT, &action, nullptr);
+
+        // Sleep until SIGTERM/SIGINT arrives.
+        for (;;) {
+            pollfd fds[1] = {{signalPipe[0], POLLIN, 0}};
+            const int rc = ::poll(fds, 1, -1);
+            if (rc > 0 && (fds[0].revents & POLLIN))
+                break;
+        }
+
+        std::cout << "triarchd draining..." << std::endl;
+        // Refuse new jobs, answer everything already accepted, then
+        // stop the transport and wait for the queue to empty.
+        service.beginDrain();
+        server.stop();
+        service.drain();
+
+        if (!cacheFile.empty()) {
+            std::string saveError;
+            if (!cache.saveFile(cacheFile, &saveError)) {
+                std::cerr << prog << ": " << saveError << "\n";
+                exitCode = 1;
+            } else {
+                std::cout << "cache (" << cache.size()
+                          << " cells) saved to " << cacheFile << "\n";
+            }
+        }
+    }
+    metrics::MetricsRegistry::global().unregisterLive(
+        &cache.statGroup());
+    metrics::MetricsRegistry::global().capture(cache.statGroup(),
+                                               "result_cache");
+
+    if (session) {
+        session->stop();
+        session->writeJsonFile(tracePath);
+        std::cout << "trace written to " << tracePath << "\n";
+    }
+    if (!statsPath.empty()) {
+        metrics::MetricsRegistry::global().writeJsonFile(statsPath);
+        std::cout << "stats written to " << statsPath << "\n";
+    }
+    std::cout << "triarchd exiting" << std::endl;
+    return exitCode;
+}

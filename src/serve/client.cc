@@ -1,0 +1,187 @@
+#include "client.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <utility>
+
+namespace triarch::serve
+{
+
+Client::~Client()
+{
+    close();
+}
+
+Client::Client(Client &&other) noexcept
+    : fd(std::exchange(other.fd, -1)),
+      buffer(std::move(other.buffer))
+{
+}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd = std::exchange(other.fd, -1);
+        buffer = std::move(other.buffer);
+    }
+    return *this;
+}
+
+void
+Client::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+    buffer.clear();
+}
+
+Client
+Client::connectUnix(const std::string &path, std::string *error)
+{
+    Client client;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "unix socket path too long: " + path;
+        return client;
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::string("cannot create unix socket: ")
+                     + std::strerror(errno);
+        return client;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (error)
+            *error = "cannot connect to '" + path
+                     + "': " + std::strerror(errno);
+        ::close(fd);
+        return client;
+    }
+    client.fd = fd;
+    return client;
+}
+
+Client
+Client::connectTcp(std::uint16_t port, std::string *error)
+{
+    Client client;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::string("cannot create tcp socket: ")
+                     + std::strerror(errno);
+        return client;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (error)
+            *error = "cannot connect to 127.0.0.1:"
+                     + std::to_string(port) + ": "
+                     + std::strerror(errno);
+        ::close(fd);
+        return client;
+    }
+    client.fd = fd;
+    return client;
+}
+
+bool
+Client::send(const JobRequest &request, std::string *error)
+{
+    if (fd < 0) {
+        if (error)
+            *error = "client is not connected";
+        return false;
+    }
+    const std::string line = writeJobRequest(request) + "\n";
+    std::size_t sent = 0;
+    while (sent < line.size()) {
+        const ssize_t n =
+            ::write(fd, line.data() + sent, line.size() - sent);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = std::string("send failed: ")
+                         + std::strerror(errno);
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::optional<std::string>
+Client::readLine(std::string *error)
+{
+    char chunk[4096];
+    for (;;) {
+        const std::size_t newline = buffer.find('\n');
+        if (newline != std::string::npos) {
+            std::string line = buffer.substr(0, newline);
+            buffer.erase(0, newline + 1);
+            return line;
+        }
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = std::string("read failed: ")
+                         + std::strerror(errno);
+            return std::nullopt;
+        }
+        if (n == 0) {
+            if (error)
+                *error = "connection closed by the daemon";
+            return std::nullopt;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+std::optional<JobResponse>
+Client::readResponse(std::string *error)
+{
+    if (fd < 0) {
+        if (error)
+            *error = "client is not connected";
+        return std::nullopt;
+    }
+    const auto line = readLine(error);
+    if (!line)
+        return std::nullopt;
+    JobResponse response;
+    if (!parseJobResponse(*line, &response, error))
+        return std::nullopt;
+    return response;
+}
+
+std::optional<JobResponse>
+Client::call(const JobRequest &request, std::string *error)
+{
+    if (!send(request, error))
+        return std::nullopt;
+    return readResponse(error);
+}
+
+} // namespace triarch::serve

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Blocking client for the daemon's line-delimited protocol: connect
+ * over AF_UNIX or TCP loopback, call() a JobRequest, get the parsed
+ * JobResponse back. One Client per connection; requests on a single
+ * Client are serialized (send, then read exactly one line).
+ */
+
+#ifndef TRIARCH_SERVE_CLIENT_HH
+#define TRIARCH_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serve/protocol.hh"
+
+namespace triarch::serve
+{
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+
+    /** Connect to a daemon; returns a disconnected client (with
+     *  *error set) on failure — check connected(). */
+    static Client connectUnix(const std::string &path,
+                              std::string *error);
+    static Client connectTcp(std::uint16_t port, std::string *error);
+
+    bool connected() const { return fd >= 0; }
+
+    /** Send one request and block for its response. Returns nullopt
+     *  with *error set on transport or parse failure; protocol-level
+     *  refusals come back as a JobResponse with error set. */
+    std::optional<JobResponse> call(const JobRequest &request,
+                                    std::string *error);
+
+    /** Send without waiting (pipelining); pair with readResponse(). */
+    bool send(const JobRequest &request, std::string *error);
+    std::optional<JobResponse> readResponse(std::string *error);
+
+    void close();
+
+  private:
+    std::optional<std::string> readLine(std::string *error);
+
+    int fd = -1;
+    std::string buffer;
+};
+
+} // namespace triarch::serve
+
+#endif // TRIARCH_SERVE_CLIENT_HH

@@ -1,0 +1,284 @@
+#include "protocol.hh"
+
+#include <iterator>
+#include <sstream>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+#include "study/machine_info.hh"
+#include "study/study_json.hh"
+
+namespace triarch::serve
+{
+
+const std::string &
+jobSchema()
+{
+    static const std::string schema = "triarch.job.v1";
+    return schema;
+}
+
+const std::string &
+resultSchema()
+{
+    static const std::string schema = "triarch.result.v1";
+    return schema;
+}
+
+const std::string &
+jobErrorCodeToken(JobErrorCode code)
+{
+    static const std::string tokens[] = {
+        "bad_request", "overloaded", "draining", "unmapped",
+        "internal"};
+    const auto i = static_cast<std::size_t>(code);
+    triarch_assert(i < std::size(tokens),
+                   "JobErrorCode out of range: ", i);
+    return tokens[i];
+}
+
+std::optional<JobErrorCode>
+parseJobErrorCode(const std::string &token)
+{
+    for (JobErrorCode code :
+         {JobErrorCode::BadRequest, JobErrorCode::Overloaded,
+          JobErrorCode::Draining, JobErrorCode::Unmapped,
+          JobErrorCode::Internal}) {
+        if (jobErrorCodeToken(code) == token)
+            return code;
+    }
+    return std::nullopt;
+}
+
+std::string
+writeJobRequest(const JobRequest &request)
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject(json::Writer::Style::Compact);
+    w.member("schema", jobSchema());
+    w.member("id", request.id);
+    w.key("config");
+    writeStudyConfig(w, request.config);
+    w.key("cells").beginArray();
+    for (const study::Cell &cell : request.cells) {
+        w.beginObject();
+        w.member("machine", study::machineToken(cell.machine));
+        w.member("kernel", study::kernelToken(cell.kernel));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    w.finish();
+    return os.str();
+}
+
+std::string
+writeJobResponse(const JobResponse &response)
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject(json::Writer::Style::Compact);
+    w.member("schema", resultSchema());
+    w.member("id", response.id);
+    w.member("config_hash", response.configHash);
+    w.member("status", response.ok() ? "ok" : "error");
+    if (response.error) {
+        w.key("error").beginObject();
+        w.member("code", jobErrorCodeToken(response.error->code));
+        w.member("message", response.error->message);
+        w.endObject();
+    } else {
+        w.key("results").beginArray();
+        for (const CellResult &cell : response.results) {
+            w.beginObject();
+            w.member("cached", cell.cached);
+            w.key("result");
+            writeRunResult(w, cell.result);
+            w.endObject();
+        }
+        w.endArray();
+    }
+    w.endObject();
+    w.finish();
+    return os.str();
+}
+
+namespace
+{
+
+bool
+reject(std::string *error, const std::string &why)
+{
+    if (error && error->empty())
+        *error = why;
+    return false;
+}
+
+/** Shared envelope checks: object root, schema tag, string id. */
+const json::Value *
+checkEnvelope(const std::string &text, const std::string &schema,
+              std::optional<json::Value> *root_storage,
+              std::string *id, std::string *error)
+{
+    if (error)
+        error->clear();
+    *root_storage = json::parse(text, error);
+    if (!*root_storage)
+        return nullptr;
+    const json::Value &root = **root_storage;
+    if (!root.isObject()) {
+        reject(error, "document root is not an object");
+        return nullptr;
+    }
+    const json::Value *tag = root.field("schema");
+    if (!tag || !tag->isString()) {
+        reject(error, "missing schema field");
+        return nullptr;
+    }
+    if (tag->text != schema) {
+        reject(error, "unsupported schema '" + tag->text + "' (want "
+                          + schema + ")");
+        return nullptr;
+    }
+    const json::Value *idField = root.field("id");
+    if (!idField || !idField->isString()) {
+        reject(error, "missing id field");
+        return nullptr;
+    }
+    *id = idField->text;
+    return &root;
+}
+
+} // namespace
+
+bool
+parseJobRequest(const std::string &text, JobRequest *request,
+                std::string *error)
+{
+    std::optional<json::Value> storage;
+    JobRequest out;
+    const json::Value *root =
+        checkEnvelope(text, jobSchema(), &storage, &out.id, error);
+    if (!root)
+        return false;
+
+    if (const json::Value *config = root->field("config")) {
+        if (!study::parseStudyConfig(*config, &out.config, error))
+            return false;
+    }
+
+    const json::Value *cells = root->field("cells");
+    if (!cells || !cells->isArray())
+        return reject(error, "missing cells array");
+    if (cells->items.empty())
+        return reject(error, "cells array is empty");
+    for (const json::Value &entry : cells->items) {
+        if (!entry.isObject())
+            return reject(error, "cell entry is not an object");
+        const json::Value *machine = entry.field("machine");
+        if (!machine || !machine->isString())
+            return reject(error, "cell missing machine token");
+        const auto mid = study::parseMachineToken(machine->text);
+        if (!mid) {
+            return reject(error, "unknown machine token '"
+                                     + machine->text + "'");
+        }
+        const json::Value *kernel = entry.field("kernel");
+        if (!kernel || !kernel->isString())
+            return reject(error, "cell missing kernel token");
+        const auto kid = study::parseKernelToken(kernel->text);
+        if (!kid) {
+            return reject(error, "unknown kernel token '"
+                                     + kernel->text + "'");
+        }
+        out.cells.push_back({*mid, *kid});
+    }
+
+    *request = std::move(out);
+    return true;
+}
+
+bool
+parseJobResponse(const std::string &text, JobResponse *response,
+                 std::string *error)
+{
+    std::optional<json::Value> storage;
+    JobResponse out;
+    const json::Value *root =
+        checkEnvelope(text, resultSchema(), &storage, &out.id, error);
+    if (!root)
+        return false;
+
+    const json::Value *hash = root->field("config_hash");
+    if (!hash || !hash->isString())
+        return reject(error, "missing config_hash field");
+    out.configHash = hash->text;
+
+    const json::Value *status = root->field("status");
+    if (!status || !status->isString()
+        || (status->text != "ok" && status->text != "error"))
+        return reject(error, "missing or bad status field");
+
+    if (status->text == "error") {
+        const json::Value *err = root->field("error");
+        if (!err || !err->isObject())
+            return reject(error, "error status without error object");
+        const json::Value *code = err->field("code");
+        if (!code || !code->isString())
+            return reject(error, "error object missing code");
+        const auto parsed = parseJobErrorCode(code->text);
+        if (!parsed) {
+            return reject(error, "unknown error code '" + code->text
+                                     + "'");
+        }
+        const json::Value *message = err->field("message");
+        if (!message || !message->isString())
+            return reject(error, "error object missing message");
+        out.error = JobError{*parsed, message->text};
+        *response = std::move(out);
+        return true;
+    }
+
+    const json::Value *results = root->field("results");
+    if (!results || !results->isArray())
+        return reject(error, "ok status without results array");
+    for (const json::Value &entry : results->items) {
+        if (!entry.isObject())
+            return reject(error, "result entry is not an object");
+        CellResult cell;
+        const json::Value *cached = entry.field("cached");
+        if (!cached || !cached->isBool())
+            return reject(error, "result entry missing cached flag");
+        cell.cached = cached->boolean;
+        const json::Value *result = entry.field("result");
+        if (!result)
+            return reject(error, "result entry missing result object");
+        if (!study::parseRunResult(*result, &cell.result, error))
+            return false;
+        out.results.push_back(std::move(cell));
+    }
+
+    *response = std::move(out);
+    return true;
+}
+
+JobResponse
+badRequestResponse(const std::string &text, const std::string &why)
+{
+    JobResponse response;
+    // Best effort: recover the id so the client can correlate the
+    // rejection even though the rest of the document was bad.
+    std::string ignored;
+    if (auto root = json::parse(text, &ignored)) {
+        if (root->isObject()) {
+            if (const json::Value *id = root->field("id");
+                id && id->isString())
+                response.id = id->text;
+        }
+    }
+    response.error = JobError{JobErrorCode::BadRequest, why};
+    return response;
+}
+
+} // namespace triarch::serve

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The daemon's wire protocol: versioned, line-delimited JSON
+ * documents. A client sends one triarch.job.v1 request per line —
+ * a job id, an optional StudyConfig (the paper's parameters by
+ * default), and a batch of (machine, kernel) cells — and receives
+ * one triarch.result.v1 response per line, either the per-cell
+ * RunResults (each tagged with whether the shared cache served it)
+ * or a typed error (bad_request, overloaded, draining, unmapped,
+ * internal).
+ *
+ * Like triarch.bench.v1, both documents round-trip: writeJobRequest
+ * followed by parseJobRequest (and the response pair) reproduce the
+ * original value bit-for-bit, which tests/test_serve.cc pins down.
+ * Field order is fixed, numbers are written deterministically, and
+ * unknown schemas are rejected with the offending tag in the error.
+ */
+
+#ifndef TRIARCH_SERVE_PROTOCOL_HH
+#define TRIARCH_SERVE_PROTOCOL_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "study/experiment.hh"
+#include "study/parallel.hh"
+
+namespace triarch::serve
+{
+
+/** Schema tags ("triarch.job.v1" / "triarch.result.v1"). */
+const std::string &jobSchema();
+const std::string &resultSchema();
+
+/** One job: run these cells under this config. */
+struct JobRequest
+{
+    std::string id;                    //!< client-chosen correlation id
+    study::StudyConfig config;         //!< paper defaults if omitted
+    std::vector<study::Cell> cells;    //!< at least one
+
+    friend bool operator==(const JobRequest &,
+                           const JobRequest &) = default;
+};
+
+/** Why a job was refused or failed. */
+enum class JobErrorCode
+{
+    BadRequest,     //!< malformed document or invalid config
+    Overloaded,     //!< queue bound hit; retry later
+    Draining,       //!< daemon is shutting down; not accepting work
+    Unmapped,       //!< a cell has no registered kernel mapping
+    Internal,       //!< unexpected server-side failure
+};
+
+/** Stable wire token for @p code ("bad_request", ...). */
+const std::string &jobErrorCodeToken(JobErrorCode code);
+std::optional<JobErrorCode> parseJobErrorCode(const std::string &token);
+
+struct JobError
+{
+    JobErrorCode code{};
+    std::string message;
+
+    friend bool operator==(const JobError &, const JobError &) = default;
+};
+
+/** One cell's result plus whether the shared cache served it. */
+struct CellResult
+{
+    study::RunResult result;
+    bool cached = false;
+
+    friend bool operator==(const CellResult &,
+                           const CellResult &) = default;
+};
+
+struct JobResponse
+{
+    std::string id;            //!< echoed from the request
+    std::string configHash;    //!< hex studyConfigHash of the job
+    std::optional<JobError> error;
+    std::vector<CellResult> results;    //!< request cell order
+
+    bool ok() const { return !error.has_value(); }
+
+    friend bool operator==(const JobResponse &,
+                           const JobResponse &) = default;
+};
+
+/** Render as a single line (no embedded newline), without the
+ *  trailing '\n' the socket framing adds. */
+std::string writeJobRequest(const JobRequest &request);
+std::string writeJobResponse(const JobResponse &response);
+
+/** Parse one document; on failure returns false with *error set
+ *  (first problem only). */
+bool parseJobRequest(const std::string &text, JobRequest *request,
+                     std::string *error);
+bool parseJobResponse(const std::string &text, JobResponse *response,
+                      std::string *error);
+
+/** The error response for an unparseable request line: echoes the
+ *  request's id when one could be recovered, else "". */
+JobResponse badRequestResponse(const std::string &text,
+                               const std::string &why);
+
+} // namespace triarch::serve
+
+#endif // TRIARCH_SERVE_PROTOCOL_HH

@@ -1,0 +1,335 @@
+#include "service.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/metrics.hh"
+#include "sim/trace.hh"
+#include "study/config_check.hh"
+#include "study/machine_info.hh"
+
+namespace triarch::serve
+{
+
+namespace
+{
+
+std::string
+hashHex(std::uint64_t hash)
+{
+    std::ostringstream os;
+    os << std::hex << hash;
+    return os.str();
+}
+
+} // namespace
+
+ExperimentService::ExperimentService(
+    ServiceOptions service_options,
+    const study::MappingRegistry *mappings, study::ResultCache *cache)
+    : opts(service_options),
+      mappings(mappings ? mappings : &study::MappingRegistry::builtin()),
+      resultCache(cache ? cache : &study::ResultCache::global())
+{
+    group.addAtomicScalar("jobs_accepted", &nJobsAccepted,
+                          "jobs taken into the queue");
+    group.addAtomicScalar("jobs_refused", &nJobsRefused,
+                          "jobs refused (bad request, overload, "
+                          "draining)");
+    group.addAtomicScalar("cells_executed", &nCellsExecuted,
+                          "cells run by a worker");
+    group.addAtomicScalar("cells_coalesced", &nCellsCoalesced,
+                          "cells attached to an identical in-flight "
+                          "cell");
+    group.addAtomicScalar("cells_from_cache", &nCellsFromCache,
+                          "cells answered by the shared result cache");
+    group.addAtomicScalar("queue_depth", &queueDepth,
+                          "cells waiting for a worker (gauge)");
+    group.addAtomicScalar("inflight", &inflightCells,
+                          "cells queued or executing (gauge)");
+    metrics::MetricsRegistry::global().registerLive(&group);
+
+    if (opts.maxResidentWorkloads == 0)
+        opts.maxResidentWorkloads = 1;
+
+    unsigned n = opts.workers;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 2;
+    }
+    workers.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ExperimentService::~ExperimentService()
+{
+    beginDrain();
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    workAvailable.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+    metrics::MetricsRegistry::global().capture(group, "serve");
+    metrics::MetricsRegistry::global().unregisterLive(&group);
+}
+
+void
+ExperimentService::updateGaugesLocked()
+{
+    queueDepth.set(queue.size());
+    inflightCells.set(outstanding);
+}
+
+void
+ExperimentService::beginDrain()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    drainGate = true;
+}
+
+bool
+ExperimentService::draining() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return drainGate;
+}
+
+void
+ExperimentService::drain()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    idle.wait(lock, [this] { return outstanding == 0; });
+}
+
+std::shared_ptr<const study::Workloads>
+ExperimentService::workloadsFor(std::uint64_t config_hash,
+                                const study::StudyConfig &config)
+{
+    using WorkPtr = std::shared_ptr<const study::Workloads>;
+    std::shared_ptr<std::promise<WorkPtr>> builder;
+    std::shared_future<WorkPtr> ready;
+    {
+        std::lock_guard<std::mutex> lock(workMu);
+        for (auto it = workLru.begin(); it != workLru.end(); ++it) {
+            if (it->first == config_hash) {
+                workLru.splice(workLru.begin(), workLru, it);
+                ready = it->second;
+                break;
+            }
+        }
+        if (!ready.valid()) {
+            builder = std::make_shared<std::promise<WorkPtr>>();
+            ready = builder->get_future().share();
+            workLru.emplace_front(config_hash, ready);
+            if (workLru.size() > opts.maxResidentWorkloads)
+                workLru.pop_back();
+        }
+    }
+    if (builder) {
+        // The config was validated at submit(), so this cannot
+        // triarch_fatal; the shared_future makes every other worker
+        // that wants this config wait instead of rebuilding.
+        builder->set_value(study::buildWorkloads(config));
+    }
+    return ready.get();
+}
+
+void
+ExperimentService::workerLoop()
+{
+    trace::TraceSession *ts = trace::TraceSession::active();
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        workAvailable.wait(
+            lock, [this] { return stopping || !queue.empty(); });
+        if (stopping && queue.empty())
+            return;
+        Task task = std::move(queue.front());
+        queue.pop_front();
+        updateGaugesLocked();
+        lock.unlock();
+
+        if (!ts)
+            ts = trace::TraceSession::active();
+        ExecOutcome outcome;
+        const study::Cell &cell = task.cell;
+        const std::uint64_t config_hash = std::get<2>(task.key);
+        const study::KernelMapping *mapping =
+            mappings->find(cell.machine, cell.kernel);
+        if (!mapping) {
+            outcome.error = JobError{
+                JobErrorCode::Unmapped,
+                mappings->missing(cell.machine, cell.kernel).message};
+        } else {
+            auto work = workloadsFor(config_hash, task.config);
+            const double execUs = ts ? ts->nowUs() : 0.0;
+            outcome.result = (*mapping)(task.config, *work);
+            if (ts) {
+                ts->span(study::machineToken(cell.machine) + "/"
+                             + study::kernelToken(cell.kernel),
+                         "serve", execUs, ts->nowUs() - execUs);
+            }
+        }
+
+        lock.lock();
+        // Order matters for the coalescing race: the cache entry
+        // must exist before the in-flight entry disappears, so a
+        // concurrent submit classifying this cell always finds one
+        // of the two. Both happen under mu, as does classification.
+        if (outcome.result)
+            resultCache->put(*outcome.result, config_hash);
+        inflight.erase(task.key);
+        --outstanding;
+        ++nCellsExecuted;
+        updateGaugesLocked();
+        idle.notify_all();
+        task.promise->set_value(std::move(outcome));
+    }
+}
+
+JobResponse
+ExperimentService::submit(const JobRequest &request)
+{
+    trace::TraceSession *ts = trace::TraceSession::active();
+    const double startUs = ts ? ts->nowUs() : 0.0;
+
+    JobResponse response;
+    response.id = request.id;
+    const std::uint64_t config_hash =
+        study::studyConfigHash(request.config);
+    response.configHash = hashHex(config_hash);
+
+    const auto refuse = [&](JobErrorCode code,
+                            const std::string &message) {
+        ++nJobsRefused;
+        response.error = JobError{code, message};
+        return response;
+    };
+
+    if (request.cells.empty())
+        return refuse(JobErrorCode::BadRequest, "job has no cells");
+    if (const auto err = study::validateConfig(request.config)) {
+        return refuse(JobErrorCode::BadRequest,
+                      "invalid config (" + err->field + "): "
+                          + err->message);
+    }
+
+    // Classify every cell (cache hit / attach to in-flight / new),
+    // then accept or refuse the job as a unit. Classification and
+    // enqueue happen under one lock so nothing can slip between the
+    // drain gate check and the queue insert.
+    struct Decision
+    {
+        enum class Kind { Hit, Wait, New } kind;
+        study::RunResult hit;
+        CellFuture future;
+        CellKey key;
+    };
+    std::vector<Decision> decisions(request.cells.size());
+    std::size_t hits = 0, coalesced = 0;
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        if (drainGate) {
+            lock.unlock();
+            return refuse(JobErrorCode::Draining,
+                          "daemon is draining; not accepting jobs");
+        }
+
+        std::map<CellKey, std::size_t> firstNew;
+        std::size_t newCells = 0;
+        for (std::size_t i = 0; i < request.cells.size(); ++i) {
+            const study::Cell &cell = request.cells[i];
+            Decision &d = decisions[i];
+            d.key = CellKey{static_cast<unsigned>(cell.machine),
+                            static_cast<unsigned>(cell.kernel),
+                            config_hash};
+            if (auto hit = resultCache->get(cell.machine, cell.kernel,
+                                            config_hash)) {
+                d.kind = Decision::Kind::Hit;
+                d.hit = std::move(*hit);
+                ++hits;
+            } else if (auto it = inflight.find(d.key);
+                       it != inflight.end()) {
+                d.kind = Decision::Kind::Wait;
+                d.future = it->second;
+                ++coalesced;
+            } else if (auto first = firstNew.find(d.key);
+                       first != firstNew.end()) {
+                // Duplicate within this job: ride the first copy.
+                d.kind = Decision::Kind::Wait;
+                ++coalesced;
+            } else {
+                d.kind = Decision::Kind::New;
+                firstNew.emplace(d.key, i);
+                ++newCells;
+            }
+        }
+
+        if (outstanding + newCells > opts.maxOutstandingCells) {
+            lock.unlock();
+            return refuse(
+                JobErrorCode::Overloaded,
+                "queue is full (" + std::to_string(outstanding)
+                    + " outstanding cells, bound "
+                    + std::to_string(opts.maxOutstandingCells)
+                    + "); retry later");
+        }
+
+        ++nJobsAccepted;
+        nCellsFromCache += hits;
+        nCellsCoalesced += coalesced;
+        for (std::size_t i = 0; i < request.cells.size(); ++i) {
+            Decision &d = decisions[i];
+            if (d.kind != Decision::Kind::New)
+                continue;
+            auto promise =
+                std::make_shared<std::promise<ExecOutcome>>();
+            d.future = promise->get_future().share();
+            inflight.emplace(d.key, d.future);
+            queue.push_back(Task{d.key, request.config,
+                                 request.cells[i], std::move(promise)});
+            ++outstanding;
+        }
+        // Intra-job duplicates attach to the future created above.
+        for (Decision &d : decisions) {
+            if (d.kind == Decision::Kind::Wait && !d.future.valid())
+                d.future = inflight.at(d.key);
+        }
+        updateGaugesLocked();
+        workAvailable.notify_all();
+    }
+
+    // Collect in request order, outside the lock.
+    response.results.reserve(decisions.size());
+    for (Decision &d : decisions) {
+        if (d.kind == Decision::Kind::Hit) {
+            response.results.push_back(
+                CellResult{std::move(d.hit), true});
+            continue;
+        }
+        ExecOutcome outcome = d.future.get();
+        if (outcome.error) {
+            response.results.clear();
+            response.error = std::move(outcome.error);
+            break;
+        }
+        response.results.push_back(
+            CellResult{std::move(*outcome.result), false});
+    }
+
+    if (ts) {
+        ts->span("job:" + request.id, "serve", startUs,
+                 ts->nowUs() - startUs,
+                 {{"cells", static_cast<double>(request.cells.size())},
+                  {"cached", static_cast<double>(hits)},
+                  {"coalesced", static_cast<double>(coalesced)}});
+    }
+    return response;
+}
+
+} // namespace triarch::serve

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * ExperimentService: the daemon's job engine. Wraps the
+ * MappingRegistry, the shared ResultCache, and a worker pool behind
+ * a bounded asynchronous cell queue:
+ *
+ *  - every cell of an accepted job is served from the shared cache,
+ *    coalesced onto an identical in-flight cell (computed once, both
+ *    requests get the value), or queued for a worker;
+ *  - the queue is bounded: a job whose new cells would push the
+ *    outstanding count past the bound is refused with a typed
+ *    Overloaded error instead of queueing unboundedly (or hanging);
+ *  - beginDrain() flips the service into shutdown mode — new jobs
+ *    get a typed Draining error, and drain() blocks until every
+ *    already-accepted cell has executed and been answered;
+ *  - live gauges (queue depth, in-flight cells, coalesced/cached
+ *    counts) sit in a "serve" StatGroup registered with the global
+ *    MetricsRegistry, and each job gets a trace span when a
+ *    TraceSession is active.
+ *
+ * submit() is synchronous (the caller's thread blocks until its
+ * job's cells are done) and safe to call from many threads — the
+ * socket server calls it from one thread per connection.
+ */
+
+#ifndef TRIARCH_SERVE_SERVICE_HH
+#define TRIARCH_SERVE_SERVICE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "sim/stats.hh"
+#include "study/registry.hh"
+#include "study/result_cache.hh"
+
+namespace triarch::serve
+{
+
+struct ServiceOptions
+{
+    /** Worker threads; 0 = hardware concurrency (min 1). */
+    unsigned workers = 0;
+
+    /** Backpressure bound: maximum outstanding (queued + executing)
+     *  cells. A job whose new cells would exceed it is refused. */
+    std::size_t maxOutstandingCells = 256;
+
+    /** Distinct StudyConfigs whose synthesized Workloads stay
+     *  resident (LRU); rebuilding is correct but slow. */
+    std::size_t maxResidentWorkloads = 4;
+};
+
+class ExperimentService
+{
+  public:
+    explicit ExperimentService(
+        ServiceOptions service_options = {},
+        const study::MappingRegistry *mappings = nullptr,
+        study::ResultCache *cache = nullptr);
+    ~ExperimentService();
+
+    ExperimentService(const ExperimentService &) = delete;
+    ExperimentService &operator=(const ExperimentService &) = delete;
+
+    /** Run one job to completion; always returns a response (typed
+     *  error rather than an exception or a hang). Thread-safe. */
+    JobResponse submit(const JobRequest &request);
+
+    /** Stop accepting jobs; already-accepted cells keep running. */
+    void beginDrain();
+
+    /** True once beginDrain() was called. */
+    bool draining() const;
+
+    /** Block until every accepted cell has finished. Call after
+     *  beginDrain(), or new jobs can extend the wait forever. */
+    void drain();
+
+    const study::ResultCache &cache() const { return *resultCache; }
+
+    /** The "serve" group: gauges + counters listed in the file
+     *  comment. Live-registered for the service's lifetime. */
+    const stats::StatGroup &statGroup() const { return group; }
+
+    /** Counter accessors for tests. */
+    std::uint64_t jobsAccepted() const { return nJobsAccepted.value(); }
+    std::uint64_t jobsRefused() const { return nJobsRefused.value(); }
+    std::uint64_t cellsExecuted() const
+    {
+        return nCellsExecuted.value();
+    }
+    std::uint64_t cellsCoalesced() const
+    {
+        return nCellsCoalesced.value();
+    }
+    std::uint64_t cellsFromCache() const
+    {
+        return nCellsFromCache.value();
+    }
+
+  private:
+    using CellKey = std::tuple<unsigned, unsigned, std::uint64_t>;
+
+    /** What a worker produces for one cell: a result, or why not. */
+    struct ExecOutcome
+    {
+        std::optional<study::RunResult> result;
+        std::optional<JobError> error;
+    };
+    using CellFuture = std::shared_future<ExecOutcome>;
+
+    struct Task
+    {
+        CellKey key;
+        study::StudyConfig config;
+        study::Cell cell;
+        std::shared_ptr<std::promise<ExecOutcome>> promise;
+    };
+
+    void workerLoop();
+    std::shared_ptr<const study::Workloads>
+    workloadsFor(std::uint64_t config_hash,
+                 const study::StudyConfig &config);
+    void updateGaugesLocked();
+
+    ServiceOptions opts;
+    const study::MappingRegistry *mappings;
+    study::ResultCache *resultCache;
+
+    mutable std::mutex mu;
+    std::condition_variable workAvailable;
+    std::condition_variable idle;
+    std::deque<Task> queue;
+    std::map<CellKey, CellFuture> inflight;
+    std::size_t outstanding = 0;    //!< queued + executing cells
+    bool drainGate = false;
+    bool stopping = false;
+
+    /** Small LRU of built workloads, guarded by its own mutex; the
+     *  shared_future ensures one builder per config even when two
+     *  workers want the same new config at once. */
+    std::mutex workMu;
+    std::list<std::pair<
+        std::uint64_t,
+        std::shared_future<std::shared_ptr<const study::Workloads>>>>
+        workLru;
+
+    std::vector<std::thread> workers;
+
+    stats::StatGroup group{"serve"};
+    stats::AtomicScalar nJobsAccepted;
+    stats::AtomicScalar nJobsRefused;
+    stats::AtomicScalar nCellsExecuted;
+    stats::AtomicScalar nCellsCoalesced;
+    stats::AtomicScalar nCellsFromCache;
+    stats::AtomicScalar queueDepth;      //!< gauge
+    stats::AtomicScalar inflightCells;   //!< gauge
+};
+
+} // namespace triarch::serve
+
+#endif // TRIARCH_SERVE_SERVICE_HH

@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <fstream>
-#include <iomanip>
-#include <sstream>
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
 
 namespace triarch::metrics
@@ -12,42 +11,6 @@ namespace triarch::metrics
 
 namespace
 {
-
-/** JSON string escape (control characters, quotes, backslash). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          case '\r': out += "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                std::ostringstream os;
-                os << "\\u" << std::hex << std::setw(4)
-                   << std::setfill('0') << static_cast<int>(c);
-                out += os.str();
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-/** Render a double with enough digits to round-trip. */
-std::string
-jsonNumber(double v)
-{
-    std::ostringstream os;
-    os << std::setprecision(17) << v;
-    return os.str();
-}
 
 GroupSnapshot
 snapshotOf(const stats::StatGroup &group)
@@ -57,44 +20,45 @@ snapshotOf(const stats::StatGroup &group)
 }
 
 void
-writeGroup(std::ostream &os, const std::string &label,
+writeGroup(json::Writer &w, const std::string &label,
            const GroupSnapshot &snap)
 {
-    os << "    {\"label\": \"" << jsonEscape(label)
-       << "\", \"group\": \"" << jsonEscape(snap.group) << "\",\n";
+    w.beginObject();
+    w.member("label", label);
+    w.member("group", snap.group);
 
-    os << "     \"scalars\": {";
-    for (std::size_t i = 0; i < snap.scalars.size(); ++i) {
-        os << (i ? ", " : "") << "\""
-           << jsonEscape(snap.scalars[i].name)
-           << "\": " << snap.scalars[i].value;
-    }
-    os << "},\n";
+    w.key("scalars").beginObject(json::Writer::Style::Compact);
+    for (const auto &s : snap.scalars)
+        w.member(s.name, s.value);
+    w.endObject();
 
-    os << "     \"averages\": {";
-    for (std::size_t i = 0; i < snap.averages.size(); ++i) {
-        const auto &a = snap.averages[i];
-        os << (i ? ", " : "") << "\"" << jsonEscape(a.name)
-           << "\": {\"mean\": " << jsonNumber(a.mean)
-           << ", \"samples\": " << a.samples << "}";
+    w.key("averages").beginObject(json::Writer::Style::Compact);
+    for (const auto &a : snap.averages) {
+        w.key(a.name).beginObject();
+        w.member("mean", a.mean);
+        w.member("samples", a.samples);
+        w.endObject();
     }
-    os << "},\n";
+    w.endObject();
 
-    os << "     \"distributions\": {";
-    for (std::size_t i = 0; i < snap.distributions.size(); ++i) {
-        const auto &d = snap.distributions[i];
-        os << (i ? ", " : "") << "\"" << jsonEscape(d.name)
-           << "\": {\"low\": " << jsonNumber(d.low)
-           << ", \"high\": " << jsonNumber(d.high)
-           << ", \"mean\": " << jsonNumber(d.mean)
-           << ", \"samples\": " << d.samples
-           << ", \"under\": " << d.under << ", \"over\": " << d.over
-           << ", \"buckets\": [";
-        for (std::size_t b = 0; b < d.buckets.size(); ++b)
-            os << (b ? ", " : "") << d.buckets[b];
-        os << "]}";
+    w.key("distributions").beginObject(json::Writer::Style::Compact);
+    for (const auto &d : snap.distributions) {
+        w.key(d.name).beginObject();
+        w.member("low", d.low);
+        w.member("high", d.high);
+        w.member("mean", d.mean);
+        w.member("samples", d.samples);
+        w.member("under", d.under);
+        w.member("over", d.over);
+        w.key("buckets").beginArray();
+        for (std::uint64_t b : d.buckets)
+            w.value(b);
+        w.endArray();
+        w.endObject();
     }
-    os << "}}";
+    w.endObject();
+
+    w.endObject();
 }
 
 } // namespace
@@ -154,14 +118,16 @@ MetricsRegistry::writeJson(std::ostream &os) const
             merged.insert_or_assign(g->name(), snapshotOf(*g));
     }
 
-    os << "{\n  \"schema\": \"triarch.stats.v1\",\n";
-    os << "  \"groups\": [\n";
-    std::size_t i = 0;
-    for (const auto &[label, snap] : merged) {
-        writeGroup(os, label, snap);
-        os << (++i < merged.size() ? "," : "") << "\n";
-    }
-    os << "  ]\n}\n";
+    json::Writer w(os);
+    w.beginObject();
+    w.member("schema", "triarch.stats.v1");
+    w.key("groups").beginArray();
+    for (const auto &[label, snap] : merged)
+        writeGroup(w, label, snap);
+    w.endArray();
+    w.endObject();
+    w.finish();
+    os << "\n";
 }
 
 void

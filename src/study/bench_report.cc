@@ -1,16 +1,14 @@
 #include "bench_report.hh"
 
 #include <algorithm>
-#include <cctype>
-#include <cerrno>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
+#include "study/study_json.hh"
 
 namespace triarch::study
 {
@@ -57,9 +55,7 @@ buildBenchReport(const StudyConfig &cfg,
 {
     BenchReport report;
     report.schema = benchSchema();
-    std::ostringstream hash;
-    hash << std::hex << studyConfigHash(cfg);
-    report.configHash = hash.str();
+    report.configHash = studyConfigHashHex(cfg);
     report.seed = cfg.seed;
 
     for (const RunResult &r : results) {
@@ -90,320 +86,32 @@ buildBenchReport(const StudyConfig &cfg,
 void
 writeBenchReportJson(const BenchReport &report, std::ostream &os)
 {
-    os << "{\n  \"schema\": \"" << report.schema << "\",\n"
-       << "  \"config_hash\": \"" << report.configHash << "\",\n"
-       << "  \"seed\": " << report.seed << ",\n"
-       << "  \"cells\": [\n";
-    for (std::size_t i = 0; i < report.cells.size(); ++i) {
-        const BenchCell &cell = report.cells[i];
-        os << "    {\"machine\": \"" << machineToken(cell.machine)
-           << "\", \"kernel\": \"" << kernelToken(cell.kernel)
-           << "\", \"cycles\": " << cell.cycles << ", \"validated\": "
-           << (cell.validated ? "true" : "false");
-        if (cell.measuredUnbalanced) {
-            os << ", \"measured_unbalanced\": "
-               << *cell.measuredUnbalanced;
-        }
-        os << ",\n     \"breakdown\": {";
-        for (std::size_t c = 0; c < stats::kNumCycleCategories; ++c) {
-            const auto cat = stats::allCycleCategories()[c];
-            os << (c ? ", " : "") << "\""
-               << stats::cycleCategoryToken(cat)
-               << "\": " << cell.breakdown[cat];
-        }
-        os << "}}" << (i + 1 < report.cells.size() ? "," : "") << "\n";
+    json::Writer w(os);
+    w.beginObject();
+    w.member("schema", report.schema);
+    w.member("config_hash", report.configHash);
+    w.member("seed", report.seed);
+    w.key("cells").beginArray();
+    for (const BenchCell &cell : report.cells) {
+        w.beginObject(json::Writer::Style::Compact);
+        w.member("machine", machineToken(cell.machine));
+        w.member("kernel", kernelToken(cell.kernel));
+        w.member("cycles", cell.cycles);
+        w.member("validated", cell.validated);
+        if (cell.measuredUnbalanced)
+            w.member("measured_unbalanced", *cell.measuredUnbalanced);
+        w.key("breakdown");
+        writeCycleBreakdown(w, cell.breakdown);
+        w.endObject();
     }
-    os << "  ]\n}\n";
+    w.endArray();
+    w.endObject();
+    w.finish();
+    os << "\n";
 }
-
-// ---------------------------------------------------------------
-// A minimal JSON reader — just enough for the documents this layer
-// writes (objects, arrays, strings, numbers, booleans, null). The
-// repo deliberately has no external JSON dependency.
-// ---------------------------------------------------------------
 
 namespace
 {
-
-struct JsonValue
-{
-    enum class Kind { Null, Bool, Number, String, Array, Object };
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    std::string text;   //!< string value, or raw number text
-    std::vector<JsonValue> items;
-    std::vector<std::pair<std::string, JsonValue>> fields;
-
-    const JsonValue *
-    field(const std::string &name) const
-    {
-        for (const auto &[key, value] : fields) {
-            if (key == name)
-                return &value;
-        }
-        return nullptr;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : in(text) {}
-
-    std::optional<JsonValue>
-    parse(std::string *error)
-    {
-        err = error;
-        JsonValue root;
-        if (!parseValue(root))
-            return std::nullopt;
-        skipWs();
-        if (pos != in.size()) {
-            fail("trailing characters after document");
-            return std::nullopt;
-        }
-        return root;
-    }
-
-  private:
-    void
-    fail(const std::string &why)
-    {
-        if (err && err->empty()) {
-            *err = "JSON error at offset " + std::to_string(pos) + ": "
-                   + why;
-        }
-    }
-
-    void
-    skipWs()
-    {
-        while (pos < in.size()
-               && std::isspace(static_cast<unsigned char>(in[pos])))
-            ++pos;
-    }
-
-    bool
-    literal(const char *word)
-    {
-        const std::size_t n = std::strlen(word);
-        if (in.compare(pos, n, word) != 0) {
-            fail(std::string("expected '") + word + "'");
-            return false;
-        }
-        pos += n;
-        return true;
-    }
-
-    bool
-    parseValue(JsonValue &out)
-    {
-        skipWs();
-        if (pos >= in.size()) {
-            fail("unexpected end of input");
-            return false;
-        }
-        switch (in[pos]) {
-          case '{': return parseObject(out);
-          case '[': return parseArray(out);
-          case '"':
-            out.kind = JsonValue::Kind::String;
-            return parseString(out.text);
-          case 't':
-            out.kind = JsonValue::Kind::Bool;
-            out.boolean = true;
-            return literal("true");
-          case 'f':
-            out.kind = JsonValue::Kind::Bool;
-            out.boolean = false;
-            return literal("false");
-          case 'n':
-            out.kind = JsonValue::Kind::Null;
-            return literal("null");
-          default:
-            return parseNumber(out);
-        }
-    }
-
-    bool
-    parseObject(JsonValue &out)
-    {
-        out.kind = JsonValue::Kind::Object;
-        ++pos;     // '{'
-        skipWs();
-        if (pos < in.size() && in[pos] == '}') {
-            ++pos;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            if (pos >= in.size() || in[pos] != '"') {
-                fail("expected object key");
-                return false;
-            }
-            std::string key;
-            if (!parseString(key))
-                return false;
-            skipWs();
-            if (pos >= in.size() || in[pos] != ':') {
-                fail("expected ':' after key");
-                return false;
-            }
-            ++pos;
-            JsonValue value;
-            if (!parseValue(value))
-                return false;
-            out.fields.emplace_back(std::move(key), std::move(value));
-            skipWs();
-            if (pos < in.size() && in[pos] == ',') {
-                ++pos;
-                continue;
-            }
-            if (pos < in.size() && in[pos] == '}') {
-                ++pos;
-                return true;
-            }
-            fail("expected ',' or '}' in object");
-            return false;
-        }
-    }
-
-    bool
-    parseArray(JsonValue &out)
-    {
-        out.kind = JsonValue::Kind::Array;
-        ++pos;     // '['
-        skipWs();
-        if (pos < in.size() && in[pos] == ']') {
-            ++pos;
-            return true;
-        }
-        while (true) {
-            JsonValue value;
-            if (!parseValue(value))
-                return false;
-            out.items.push_back(std::move(value));
-            skipWs();
-            if (pos < in.size() && in[pos] == ',') {
-                ++pos;
-                continue;
-            }
-            if (pos < in.size() && in[pos] == ']') {
-                ++pos;
-                return true;
-            }
-            fail("expected ',' or ']' in array");
-            return false;
-        }
-    }
-
-    bool
-    parseString(std::string &out)
-    {
-        ++pos;      // opening quote
-        while (pos < in.size() && in[pos] != '"') {
-            char c = in[pos];
-            if (c == '\\') {
-                if (pos + 1 >= in.size()) {
-                    fail("dangling escape");
-                    return false;
-                }
-                const char esc = in[pos + 1];
-                pos += 2;
-                switch (esc) {
-                  case '"': out += '"'; break;
-                  case '\\': out += '\\'; break;
-                  case '/': out += '/'; break;
-                  case 'n': out += '\n'; break;
-                  case 't': out += '\t'; break;
-                  case 'r': out += '\r'; break;
-                  case 'b': out += '\b'; break;
-                  case 'f': out += '\f'; break;
-                  case 'u': {
-                    if (pos + 4 > in.size()) {
-                        fail("truncated \\u escape");
-                        return false;
-                    }
-                    const unsigned code = static_cast<unsigned>(
-                        std::strtoul(in.substr(pos, 4).c_str(),
-                                     nullptr, 16));
-                    pos += 4;
-                    // Only the ASCII subset our writers emit.
-                    out += code < 0x80 ? static_cast<char>(code) : '?';
-                    break;
-                  }
-                  default:
-                    fail("unknown escape");
-                    return false;
-                }
-            } else {
-                out += c;
-                ++pos;
-            }
-        }
-        if (pos >= in.size()) {
-            fail("unterminated string");
-            return false;
-        }
-        ++pos;      // closing quote
-        return true;
-    }
-
-    bool
-    parseNumber(JsonValue &out)
-    {
-        out.kind = JsonValue::Kind::Number;
-        const std::size_t start = pos;
-        if (pos < in.size() && (in[pos] == '-' || in[pos] == '+'))
-            ++pos;
-        while (pos < in.size()
-               && (std::isdigit(static_cast<unsigned char>(in[pos]))
-                   || in[pos] == '.' || in[pos] == 'e' || in[pos] == 'E'
-                   || in[pos] == '-' || in[pos] == '+'))
-            ++pos;
-        if (pos == start) {
-            fail("expected a value");
-            return false;
-        }
-        out.text = in.substr(start, pos - start);
-        return true;
-    }
-
-    const std::string &in;
-    std::size_t pos = 0;
-    std::string *err = nullptr;
-};
-
-bool
-asU64(const JsonValue &v, std::uint64_t &out)
-{
-    if (v.kind != JsonValue::Kind::Number)
-        return false;
-    errno = 0;
-    char *end = nullptr;
-    out = std::strtoull(v.text.c_str(), &end, 10);
-    return errno == 0 && end && *end == '\0';
-}
-
-std::optional<MachineId>
-machineFromToken(const std::string &token)
-{
-    for (MachineId m : allMachines()) {
-        if (machineToken(m) == token)
-            return m;
-    }
-    return std::nullopt;
-}
-
-std::optional<KernelId>
-kernelFromToken(const std::string &token)
-{
-    for (KernelId k : allKernels()) {
-        if (kernelToken(k) == token)
-            return k;
-    }
-    return std::nullopt;
-}
 
 /** Set *error (once) and return nullopt. */
 std::optional<BenchReport>
@@ -421,16 +129,15 @@ parseBenchReportJson(const std::string &text, std::string *error)
 {
     if (error)
         error->clear();
-    JsonParser parser(text);
-    const auto root = parser.parse(error);
+    const auto root = json::parse(text, error);
     if (!root)
         return std::nullopt;
-    if (root->kind != JsonValue::Kind::Object)
+    if (!root->isObject())
         return reject(error, "document root is not an object");
 
     BenchReport report;
-    const JsonValue *schema = root->field("schema");
-    if (!schema || schema->kind != JsonValue::Kind::String)
+    const json::Value *schema = root->field("schema");
+    if (!schema || !schema->isString())
         return reject(error, "missing schema field");
     if (schema->text != benchSchema()) {
         return reject(error, "unsupported schema '" + schema->text
@@ -438,91 +145,42 @@ parseBenchReportJson(const std::string &text, std::string *error)
     }
     report.schema = schema->text;
 
-    const JsonValue *hash = root->field("config_hash");
-    if (!hash || hash->kind != JsonValue::Kind::String)
+    const json::Value *hash = root->field("config_hash");
+    if (!hash || !hash->isString())
         return reject(error, "missing config_hash field");
     report.configHash = hash->text;
 
-    const JsonValue *seed = root->field("seed");
-    if (!seed || !asU64(*seed, report.seed))
+    const json::Value *seed = root->field("seed");
+    if (!seed || !seed->asU64(report.seed))
         return reject(error, "missing or non-integer seed field");
 
-    const JsonValue *cells = root->field("cells");
-    if (!cells || cells->kind != JsonValue::Kind::Array)
+    const json::Value *cells = root->field("cells");
+    if (!cells || !cells->isArray())
         return reject(error, "missing cells array");
 
-    for (const JsonValue &entry : cells->items) {
-        if (entry.kind != JsonValue::Kind::Object)
+    for (const json::Value &entry : cells->items) {
+        if (!entry.isObject())
             return reject(error, "cell entry is not an object");
+        // A bench cell carries the same wire fields as a RunResult
+        // minus the notes; parseRunResult validates tokens and the
+        // breakdown partition in one place.
+        RunResult parsed;
+        if (!parseRunResult(entry, &parsed, error))
+            return std::nullopt;
+
+        if (report.find(parsed.machine, parsed.kernel)) {
+            return reject(error, "duplicate cell "
+                                     + machineToken(parsed.machine) + "/"
+                                     + kernelToken(parsed.kernel));
+        }
+
         BenchCell cell;
-
-        const JsonValue *machine = entry.field("machine");
-        if (!machine || machine->kind != JsonValue::Kind::String)
-            return reject(error, "cell missing machine token");
-        const auto mid = machineFromToken(machine->text);
-        if (!mid) {
-            return reject(error, "unknown machine token '"
-                                     + machine->text + "'");
-        }
-        cell.machine = *mid;
-
-        const JsonValue *kernel = entry.field("kernel");
-        if (!kernel || kernel->kind != JsonValue::Kind::String)
-            return reject(error, "cell missing kernel token");
-        const auto kid = kernelFromToken(kernel->text);
-        if (!kid) {
-            return reject(error, "unknown kernel token '"
-                                     + kernel->text + "'");
-        }
-        cell.kernel = *kid;
-
-        const std::string where =
-            machine->text + "/" + kernel->text;
-        if (report.find(cell.machine, cell.kernel))
-            return reject(error, "duplicate cell " + where);
-
-        const JsonValue *cycles = entry.field("cycles");
-        if (!cycles || !asU64(*cycles, cell.cycles))
-            return reject(error, where + ": bad cycles field");
-
-        const JsonValue *validated = entry.field("validated");
-        if (!validated || validated->kind != JsonValue::Kind::Bool)
-            return reject(error, where + ": bad validated field");
-        cell.validated = validated->boolean;
-
-        if (const JsonValue *mu = entry.field("measured_unbalanced")) {
-            std::uint64_t value = 0;
-            if (!asU64(*mu, value)) {
-                return reject(error,
-                              where + ": bad measured_unbalanced");
-            }
-            cell.measuredUnbalanced = value;
-        }
-
-        const JsonValue *breakdown = entry.field("breakdown");
-        if (!breakdown || breakdown->kind != JsonValue::Kind::Object)
-            return reject(error, where + ": missing breakdown object");
-        for (const auto cat : stats::allCycleCategories()) {
-            const JsonValue *v =
-                breakdown->field(stats::cycleCategoryToken(cat));
-            std::uint64_t value = 0;
-            if (!v || !asU64(*v, value)) {
-                return reject(error,
-                              where + ": breakdown missing category '"
-                                  + stats::cycleCategoryToken(cat)
-                                  + "'");
-            }
-            cell.breakdown.cycles[static_cast<unsigned>(cat)] = value;
-        }
-        cell.breakdown.total = cell.cycles;
-        if (cell.breakdown.categorySum() != cell.cycles) {
-            return reject(
-                error, where + ": breakdown sums to "
-                           + std::to_string(cell.breakdown.categorySum())
-                           + " but cycles is "
-                           + std::to_string(cell.cycles));
-        }
-
+        cell.machine = parsed.machine;
+        cell.kernel = parsed.kernel;
+        cell.cycles = parsed.cycles;
+        cell.measuredUnbalanced = parsed.measuredUnbalanced;
+        cell.validated = parsed.validated;
+        cell.breakdown = parsed.breakdown;
         report.cells.push_back(std::move(cell));
     }
     return report;

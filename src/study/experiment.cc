@@ -39,6 +39,16 @@ kernelToken(KernelId id)
     return tokens[i];
 }
 
+std::optional<KernelId>
+parseKernelToken(const std::string &token)
+{
+    for (KernelId k : allKernels()) {
+        if (kernelToken(k) == token)
+            return k;
+    }
+    return std::nullopt;
+}
+
 namespace
 {
 

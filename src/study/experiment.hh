@@ -41,6 +41,9 @@ const std::string &kernelName(KernelId id);
 /** Short machine-readable kernel id ("ct", "cslc", "bs"). */
 const std::string &kernelToken(KernelId id);
 
+/** Inverse of kernelToken(); nullopt for unknown tokens. */
+std::optional<KernelId> parseKernelToken(const std::string &token);
+
 /** Workload parameters; defaults are the paper's (Section 3). */
 struct StudyConfig
 {

@@ -74,4 +74,14 @@ machineToken(MachineId id)
     return tokens[i];
 }
 
+std::optional<MachineId>
+parseMachineToken(const std::string &token)
+{
+    for (MachineId m : allMachines()) {
+        if (machineToken(m) == token)
+            return m;
+    }
+    return std::nullopt;
+}
+
 } // namespace triarch::study

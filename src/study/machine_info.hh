@@ -9,6 +9,7 @@
 #ifndef TRIARCH_STUDY_MACHINE_INFO_HH
 #define TRIARCH_STUDY_MACHINE_INFO_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,9 @@ const std::string &machineName(MachineId id);
 
 /** Short machine-readable id ("ppc", "altivec", "viram", ...). */
 const std::string &machineToken(MachineId id);
+
+/** Inverse of machineToken(); nullopt for unknown tokens. */
+std::optional<MachineId> parseMachineToken(const std::string &token);
 
 } // namespace triarch::study
 

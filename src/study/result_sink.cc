@@ -1,54 +1,13 @@
 #include "result_sink.hh"
 
 #include <fstream>
-#include <iomanip>
-#include <sstream>
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
+#include "study/study_json.hh"
 
 namespace triarch::study
 {
-
-namespace
-{
-
-/** JSON string escape (control characters, quotes, backslash). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          case '\r': out += "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                std::ostringstream os;
-                os << "\\u" << std::hex << std::setw(4)
-                   << std::setfill('0') << static_cast<int>(c);
-                out += os.str();
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-/** Render a double with enough digits to round-trip. */
-std::string
-jsonNumber(double v)
-{
-    std::ostringstream os;
-    os << std::setprecision(17) << v;
-    return os.str();
-}
-
-} // namespace
 
 ResultSink::ResultSink(StudyConfig sink_config)
     : cfg(std::move(sink_config))
@@ -89,68 +48,45 @@ ResultSink::writeJson(std::ostream &os) const
 {
     std::lock_guard<std::mutex> lock(mu);
 
-    os << "{\n  \"schema\": \"triarch.results.v1\",\n";
+    json::Writer w(os);
+    w.beginObject();
+    w.member("schema", "triarch.results.v1");
 
-    os << "  \"config\": {\n"
-       << "    \"matrix_size\": " << cfg.matrixSize << ",\n"
-       << "    \"seed\": " << cfg.seed << ",\n"
-       << "    \"cslc\": {\"main_channels\": " << cfg.cslc.mainChannels
-       << ", \"aux_channels\": " << cfg.cslc.auxChannels
-       << ", \"samples\": " << cfg.cslc.samples
-       << ", \"sub_bands\": " << cfg.cslc.subBands
-       << ", \"sub_band_len\": " << cfg.cslc.subBandLen
-       << ", \"sub_band_stride\": " << cfg.cslc.subBandStride
-       << "},\n"
-       << "    \"beam\": {\"elements\": " << cfg.beam.elements
-       << ", \"directions\": " << cfg.beam.directions
-       << ", \"dwells\": " << cfg.beam.dwells
-       << ", \"shift\": " << cfg.beam.shift << "},\n"
-       << "    \"jammer_bins\": [";
-    for (std::size_t i = 0; i < cfg.jammerBins.size(); ++i)
-        os << (i ? ", " : "") << cfg.jammerBins[i];
-    os << "],\n"
-       << "    \"hash\": \"" << std::hex << studyConfigHash(cfg)
-       << std::dec << "\"\n  },\n";
+    w.key("config");
+    writeStudyConfig(w, cfg);
 
-    os << "  \"metadata\": {";
-    for (std::size_t i = 0; i < meta.size(); ++i) {
-        os << (i ? ", " : "") << "\"" << jsonEscape(meta[i].first)
-           << "\": \"" << jsonEscape(meta[i].second) << "\"";
+    w.key("metadata").beginObject(json::Writer::Style::Compact);
+    for (const auto &[name, value] : meta)
+        w.member(name, value);
+    w.endObject();
+
+    w.key("results").beginArray();
+    for (const RunResult &r : results) {
+        // The wire fields plus the display conveniences (names,
+        // derived milliseconds) trajectory-tracking scripts read.
+        w.beginObject(json::Writer::Style::Compact);
+        w.member("machine", machineName(r.machine));
+        w.member("machine_id", machineToken(r.machine));
+        w.member("kernel", kernelName(r.kernel));
+        w.member("kernel_id", kernelToken(r.kernel));
+        w.member("cycles", r.cycles);
+        w.member("milliseconds", r.milliseconds());
+        w.member("validated", r.validated);
+        if (r.measuredUnbalanced)
+            w.member("measured_unbalanced", *r.measuredUnbalanced);
+        w.key("breakdown");
+        writeCycleBreakdown(w, r.breakdown);
+        w.key("notes").beginObject(json::Writer::Style::Compact);
+        for (const auto &[name, value] : r.notes)
+            w.member(name, value);
+        w.endObject();
+        w.endObject();
     }
-    os << "},\n";
+    w.endArray();
 
-    os << "  \"results\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const RunResult &r = results[i];
-        os << "    {\"machine\": \""
-           << jsonEscape(machineName(r.machine)) << "\", \"machine_id\": \""
-           << machineToken(r.machine) << "\", \"kernel\": \""
-           << jsonEscape(kernelName(r.kernel)) << "\", \"kernel_id\": \""
-           << kernelToken(r.kernel) << "\",\n     \"cycles\": "
-           << r.cycles << ", \"milliseconds\": "
-           << jsonNumber(r.milliseconds()) << ", \"validated\": "
-           << (r.validated ? "true" : "false");
-        if (r.measuredUnbalanced) {
-            os << ", \"measured_unbalanced\": "
-               << *r.measuredUnbalanced;
-        }
-        os << ",\n     \"breakdown\": {";
-        for (std::size_t c = 0; c < stats::kNumCycleCategories; ++c) {
-            const auto cat = stats::allCycleCategories()[c];
-            os << (c ? ", " : "") << "\""
-               << stats::cycleCategoryToken(cat)
-               << "\": " << r.breakdown[cat];
-        }
-        os << "}";
-        os << ",\n     \"notes\": {";
-        for (std::size_t n = 0; n < r.notes.size(); ++n) {
-            os << (n ? ", " : "") << "\""
-               << jsonEscape(r.notes[n].first)
-               << "\": " << jsonNumber(r.notes[n].second);
-        }
-        os << "}}" << (i + 1 < results.size() ? "," : "") << "\n";
-    }
-    os << "  ]\n}\n";
+    w.endObject();
+    w.finish();
+    os << "\n";
 }
 
 void

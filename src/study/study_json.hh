@@ -1,0 +1,70 @@
+/**
+ * @file
+ * JSON projections of the study layer's core value types — the
+ * StudyConfig block and the per-cell RunResult — shared by every
+ * document that carries them: the triarch.results.v1 sink, the
+ * triarch.cache.v1 persistent result cache, and the
+ * triarch.job.v1/triarch.result.v1 daemon protocol. One writer and
+ * one parser per type, so a RunResult that crosses any of those
+ * boundaries round-trips bit-identically (doubles are rendered with
+ * json::formatDouble's round-trip precision, notes keep their
+ * order, and the cycle-breakdown partition invariant is re-checked
+ * on the way back in).
+ */
+
+#ifndef TRIARCH_STUDY_STUDY_JSON_HH
+#define TRIARCH_STUDY_STUDY_JSON_HH
+
+#include <string>
+
+#include "sim/json.hh"
+#include "study/experiment.hh"
+
+namespace triarch::study
+{
+
+/** studyConfigHash(cfg) rendered as lowercase hex. */
+std::string studyConfigHashHex(const StudyConfig &cfg);
+
+/**
+ * Emit the canonical config object: matrix_size, seed, cslc{...},
+ * beam{...}, jammer_bins, hash. The writer must be positioned where
+ * a value is expected (after key() or inside an array).
+ */
+void writeStudyConfig(json::Writer &w, const StudyConfig &cfg);
+
+/**
+ * Parse a config object written by writeStudyConfig(). Every field
+ * is optional and defaults to the paper's StudyConfig value, so a
+ * request may override just {"seed": 7}. Unknown fields are
+ * rejected (they are silent typos otherwise), as is a "hash" field
+ * that contradicts the parsed config. Returns false and sets *error
+ * on the first violation.
+ */
+bool parseStudyConfig(const json::Value &v, StudyConfig *cfg,
+                      std::string *error);
+
+/** Emit the five-category breakdown object (token: cycles). */
+void writeCycleBreakdown(json::Writer &w,
+                         const stats::CycleBreakdown &breakdown);
+
+/**
+ * Emit one RunResult with machine-readable tokens only: machine,
+ * kernel, cycles, validated, measured_unbalanced (when present),
+ * breakdown, notes. This is the wire/cache form; display emitters
+ * (ResultSink) add their own derived fields on top.
+ */
+void writeRunResult(json::Writer &w, const RunResult &result);
+
+/**
+ * Parse a RunResult written by writeRunResult(). Validates machine
+ * and kernel tokens, requires every breakdown category, and
+ * re-checks that the categories sum exactly to the cycle count.
+ * Returns false and sets *error on the first violation.
+ */
+bool parseRunResult(const json::Value &v, RunResult *result,
+                    std::string *error);
+
+} // namespace triarch::study
+
+#endif // TRIARCH_STUDY_STUDY_JSON_HH
