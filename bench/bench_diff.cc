@@ -47,6 +47,9 @@ usage(std::ostream &os, const char *prog)
        << "                      (default 0.005 = 0.5%)\n"
        << "  --paper-factor F    sanity band around Table 3\n"
        << "                      (default 2.0; 0 disables the check)\n"
+       << "  --host-gate R       fail when a fresh host median exceeds\n"
+       << "                      baseline x R (host comparison is\n"
+       << "                      advisory-only otherwise)\n"
        << "  --help              this text\n";
 }
 
@@ -58,6 +61,7 @@ struct Options
     unsigned threads = 0;
     double tolerance = 0.005;
     double paperFactor = 2.0;
+    double hostGate = 0.0;      //!< 0 = advisory host comparison
 };
 
 /** Parse argv; exits 0 on --help, 2 on a bad flag. */
@@ -105,6 +109,14 @@ parseArgs(int argc, char **argv)
         } else if (flag == "--paper-factor") {
             needValue(i, flag, value);
             opts.paperFactor = std::strtod(value.c_str(), nullptr);
+        } else if (flag == "--host-gate") {
+            needValue(i, flag, value);
+            opts.hostGate = std::strtod(value.c_str(), nullptr);
+            if (opts.hostGate <= 0.0) {
+                std::cerr << argv[0]
+                          << ": --host-gate wants a ratio > 0\n";
+                std::exit(2);
+            }
         } else {
             std::cerr << argv[0] << ": unknown flag '" << flag
                       << "'\n\n";
@@ -175,6 +187,22 @@ main(int argc, char **argv)
     if (opts.paperFactor > 0.0) {
         ok &= report("paper Table 3 sanity",
                      checkPaperTargets(fresh, opts.paperFactor));
+    }
+
+    // Host wall-clock comparison: advisory lines by default (host
+    // time depends on the machine running the gate), a real check
+    // with --host-gate.
+    if (baseline->host || fresh.host || opts.hostGate > 0.0) {
+        std::vector<std::string> advisory;
+        const BenchDiffResult hostDiff = diffHostSections(
+            *baseline, fresh, opts.hostGate, &advisory);
+        for (const std::string &line : advisory)
+            std::cout << "  (advisory) " << line << "\n";
+        if (opts.hostGate > 0.0) {
+            ok &= report("host-time gate (" +
+                             std::to_string(opts.hostGate) + "x)",
+                         hostDiff);
+        }
     }
     return ok ? 0 : 1;
 }

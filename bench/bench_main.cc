@@ -2,6 +2,7 @@
 
 #include <iostream>
 
+#include "sim/host_clock.hh"
 #include "sim/metrics.hh"
 #include "sim/trace.hh"
 #include "study/cli_options.hh"
@@ -188,6 +189,40 @@ benchMain(int argc, char **argv, const char *description,
                   opts.statsPath = v;
                   return 0;
               });
+    cli.toggle("--host-stats",
+               "record host-time histograms (wall clock) into the "
+               "--stats document",
+               [&]() {
+                   opts.hostStats = true;
+                   return 0;
+               });
+    cli.toggle("--host",
+               "measure host time per cell and emit a bench host "
+               "section where supported",
+               [&]() {
+                   opts.hostSection = true;
+                   return 0;
+               });
+    cli.number("--host-warmup", "N",
+               "unmeasured host iterations per cell (default 1)",
+               std::numeric_limits<unsigned>::max(),
+               [&](std::uint64_t n) {
+                   opts.hostWarmup = static_cast<unsigned>(n);
+                   return 0;
+               });
+    cli.number("--host-reps", "N",
+               "measured host iterations per cell (default 5; the "
+               "measurement contract wants 30+)",
+               std::numeric_limits<unsigned>::max(),
+               [&](std::uint64_t n) {
+                   opts.hostReps = static_cast<unsigned>(n);
+                   return 0;
+               });
+    cli.number("--pin", "N", "pin host measurement to core N", 4095,
+               [&](std::uint64_t n) {
+                   opts.pinCpu = static_cast<int>(n);
+                   return 0;
+               });
     cli.logLevelFlag();
 
     if (const auto rc = cli.parse(argc, argv))
@@ -197,6 +232,9 @@ benchMain(int argc, char **argv, const char *description,
     study::ensureParentDir("--json", opts.jsonPath, prog);
     study::ensureParentDir("--trace", opts.tracePath, prog);
     study::ensureParentDir("--stats", opts.statsPath, prog);
+
+    if (opts.hostStats)
+        host::setProfiling(true);
 
     // The session must outlive the context: the runner's worker
     // threads (and their buffered events) drain in ~BenchContext.

@@ -16,6 +16,11 @@
  *   --csv               machine-readable table output where supported
  *   --trace PATH        write a Chrome trace-event JSON timeline
  *   --stats PATH        write a triarch.stats.v1 counters document
+ *   --host-stats        record host-time histograms into --stats
+ *   --host              emit a bench host section where supported
+ *   --host-warmup N     unmeasured host iterations per cell
+ *   --host-reps N       measured host iterations per cell
+ *   --pin N             pin host measurement to core N
  *   --log-level LEVEL   quiet, warn, inform, or debug
  *   --help              usage
  *
@@ -46,6 +51,15 @@ struct BenchOptions
     std::string tracePath;                   //!< empty = no tracing
     std::string statsPath;                   //!< empty = no stats doc
     bool csv = false;
+
+    /** --host-stats: gate host-time histograms on process-wide. */
+    bool hostStats = false;
+    /** --host: measure and emit a bench host section (perf_report,
+     *  micro_host); off by default so documents stay byte-identical. */
+    bool hostSection = false;
+    unsigned hostWarmup = 1;    //!< --host-warmup (CI-friendly default)
+    unsigned hostReps = 5;      //!< --host-reps (contract wants 30+)
+    int pinCpu = -1;            //!< --pin; < 0 = no pinning
 };
 
 /**

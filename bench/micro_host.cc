@@ -1,98 +1,124 @@
 /**
  * @file
- * Host-side microbenchmarks (google-benchmark): throughput of the
- * reference kernels and of the simulators themselves. These do not
- * reproduce paper numbers; they document the cost of running the
- * study and guard against performance regressions in the simulators.
+ * Host-side microbenchmark of the simulators themselves: how much
+ * wall-clock time each Table-3 cell costs to simulate. These numbers
+ * do not reproduce the paper; they document the cost of running the
+ * study and feed the advisory host-time comparison in bench_diff.
+ *
+ * Every cell's mapping runs under the repeated-measurement contract
+ * (sim/host_clock.hh): --warmup unmeasured iterations, --reps
+ * measured ones, optional --pin core pinning, robust statistics.
+ * Default output is a human-readable table; --json emits the full
+ * triarch.bench.v1 document (simulated cycles + host section) on
+ * stdout, the same shape perf_report --host writes.
+ *
+ * Flags parse via the shared study::CliOptions (exit 2 on a bad
+ * flag, like every other gate-style tool here).
  */
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <iostream>
+#include <limits>
 
-#include "kernels/corner_turn.hh"
-#include "kernels/fft.hh"
-#include "raw/kernels_raw.hh"
-#include "sim/rng.hh"
-#include "viram/kernels_viram.hh"
-
-namespace
-{
+#include "sim/host_clock.hh"
+#include "study/bench_report.hh"
+#include "study/cli_options.hh"
+#include "study/host_measure.hh"
+#include "study/machine_info.hh"
+#include "study/parallel.hh"
 
 using namespace triarch;
+using namespace triarch::study;
 
-void
-BM_ReferenceFftMixed128(benchmark::State &state)
+int
+main(int argc, char **argv)
 {
-    Rng rng(1);
-    std::vector<kernels::cfloat> x(128);
-    for (auto &v : x)
-        v = {rng.nextSignedFloat(), rng.nextSignedFloat()};
-    for (auto _ : state) {
-        auto y = x;
-        kernels::fftMixed128(y);
-        benchmark::DoNotOptimize(y.data());
+    std::uint64_t seed = 11;
+    unsigned warmup = 1;
+    unsigned reps = 5;
+    int pin = -1;
+    bool json = false;
+
+    CliOptions cli("Measure the host wall-clock cost of simulating "
+                   "each Table-3 cell");
+    cli.number("--seed", "N", "workload synthesis seed (default 11)",
+               std::numeric_limits<std::uint64_t>::max(),
+               [&](std::uint64_t n) {
+                   seed = n;
+                   return 0;
+               });
+    cli.number("--warmup", "N",
+               "unmeasured iterations per cell (default 1)",
+               std::numeric_limits<unsigned>::max(),
+               [&](std::uint64_t n) {
+                   warmup = static_cast<unsigned>(n);
+                   return 0;
+               });
+    cli.number("--reps", "N",
+               "measured iterations per cell (default 5; the "
+               "measurement contract wants 30+)",
+               std::numeric_limits<unsigned>::max(),
+               [&](std::uint64_t n) {
+                   reps = static_cast<unsigned>(n);
+                   return 0;
+               });
+    cli.number("--pin", "N", "pin the measurement to core N", 4095,
+               [&](std::uint64_t n) {
+                   pin = static_cast<int>(n);
+                   return 0;
+               });
+    cli.toggle("--json",
+               "emit a triarch.bench.v1 document with a host section "
+               "instead of the table",
+               [&]() {
+                   json = true;
+                   return 0;
+               });
+    cli.logLevelFlag();
+    if (const auto rc = cli.parse(argc, argv))
+        return *rc;
+
+    StudyConfig cfg;
+    cfg.seed = seed;
+
+    host::MeasureOptions mo;
+    mo.warmup = warmup;
+    mo.repetitions = reps;
+    mo.pinCpu = pin;
+    const std::vector<Cell> cells = allCells();
+    const HostSection host = measureHostSection(cfg, cells, mo);
+
+    if (json) {
+        // One simulated run per cell for the cycle half of the
+        // document (cache-backed; the host section above measured
+        // uncached mapping executions).
+        ParallelRunner runner(cfg, 1);
+        BenchReport report = buildBenchReport(cfg, runner.runAll());
+        report.host = host;
+        writeBenchReportJson(report, std::cout);
+        return 0;
     }
-}
-BENCHMARK(BM_ReferenceFftMixed128);
 
-void
-BM_ReferenceFftRadix2_1024(benchmark::State &state)
-{
-    Rng rng(2);
-    std::vector<kernels::cfloat> x(1024);
-    for (auto &v : x)
-        v = {rng.nextSignedFloat(), rng.nextSignedFloat()};
-    for (auto _ : state) {
-        auto y = x;
-        kernels::fftRadix2(y);
-        benchmark::DoNotOptimize(y.data());
+    std::printf("host time per simulated cell (seed %llu, %llu reps"
+                ", warmup %llu%s)\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(host.repetitions),
+                static_cast<unsigned long long>(host.warmup),
+                host.pinned ? ", pinned" : "");
+    std::printf("%-12s %-6s %12s %12s %12s %12s\n", "machine",
+                "kernel", "median(ms)", "p95(ms)", "min(ms)",
+                "stddev(ms)");
+    for (const HostCellTiming &cell : host.cells) {
+        std::printf("%-12s %-6s %12.3f %12.3f %12.3f %12.3f\n",
+                    machineToken(cell.machine).c_str(),
+                    kernelToken(cell.kernel).c_str(),
+                    cell.medianNs / 1e6, cell.p95Ns / 1e6,
+                    cell.minNs / 1e6, cell.stddevNs / 1e6);
     }
+    std::printf("grid throughput at the medians: %.2f cells/sec\n",
+                host.cellsPerSec);
+    std::printf("peak RSS: %.1f MiB\n",
+                static_cast<double>(host::peakRssBytes())
+                    / (1024.0 * 1024.0));
+    return 0;
 }
-BENCHMARK(BM_ReferenceFftRadix2_1024);
-
-void
-BM_ReferenceTransposeBlocked(benchmark::State &state)
-{
-    kernels::WordMatrix src(512, 512), dst(512, 512);
-    kernels::fillMatrix(src, 3);
-    for (auto _ : state) {
-        kernels::transposeBlocked(src, dst, 32);
-        benchmark::DoNotOptimize(dst.data.data());
-    }
-    state.SetBytesProcessed(
-        static_cast<std::int64_t>(state.iterations()) * 512 * 512 * 4);
-}
-BENCHMARK(BM_ReferenceTransposeBlocked);
-
-void
-BM_ViramSimulatorCornerTurn128(benchmark::State &state)
-{
-    kernels::WordMatrix src(128, 128);
-    kernels::fillMatrix(src, 4);
-    for (auto _ : state) {
-        viram::ViramMachine machine;
-        kernels::WordMatrix dst;
-        benchmark::DoNotOptimize(
-            viram::cornerTurnViram(machine, src, dst));
-    }
-}
-BENCHMARK(BM_ViramSimulatorCornerTurn128);
-
-void
-BM_RawInterpreterCornerTurn128(benchmark::State &state)
-{
-    kernels::WordMatrix src(128, 128);
-    kernels::fillMatrix(src, 5);
-    std::uint64_t simCycles = 0;
-    for (auto _ : state) {
-        raw::RawMachine machine;
-        kernels::WordMatrix dst;
-        simCycles += raw::cornerTurnRaw(machine, src, dst);
-    }
-    state.counters["sim_cycles_per_s"] = benchmark::Counter(
-        static_cast<double>(simCycles), benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_RawInterpreterCornerTurn128);
-
-} // namespace
-
-BENCHMARK_MAIN();

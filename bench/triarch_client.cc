@@ -10,6 +10,11 @@
  * returns exactly what a local run returns. --min-cache-hits N fails
  * unless the daemon answered at least N cells from its shared cache,
  * which is how CI asserts that a repeated sweep actually hit.
+ *
+ * --statsz skips the sweep entirely: it sends a "stats" request and
+ * pretty-prints the daemon's live triarch.stats.v1 snapshot —
+ * counters, gauges (uptime, queue depth), and the host-time latency
+ * histograms as count/median/P95 one-liners.
  */
 
 #include <iomanip>
@@ -18,10 +23,78 @@
 #include <optional>
 
 #include "serve/client.hh"
+#include "sim/json.hh"
 #include "study/cli_options.hh"
 #include "study/machine_info.hh"
 #include "study/parallel.hh"
 #include "study/result_sink.hh"
+
+namespace
+{
+
+using triarch::json::Value;
+
+/** Raw number text of @p name, or "?" when absent/mistyped. */
+std::string
+numberText(const Value &object, const std::string &name)
+{
+    const Value *field = object.field(name);
+    return field && field->isNumber() ? field->text : "?";
+}
+
+/**
+ * Pretty-print one triarch.stats.v1 document: every scalar as a
+ * "label.name value" line, every histogram as a count/median/P95
+ * one-liner. Returns 0, or 1 when the document does not parse.
+ */
+int
+printStatsSnapshot(const std::string &stats_json, const char *prog)
+{
+    std::string error;
+    const auto doc = triarch::json::parse(stats_json, &error);
+    if (!doc || !doc->isObject()) {
+        std::cerr << prog << ": bad stats snapshot: " << error << "\n";
+        return 1;
+    }
+    const Value *groups = doc->field("groups");
+    if (!groups || !groups->isArray()) {
+        std::cerr << prog << ": stats snapshot has no groups array\n";
+        return 1;
+    }
+    for (const Value &group : groups->items) {
+        if (!group.isObject())
+            continue;
+        const Value *label = group.field("label");
+        const std::string name =
+            label && label->isString() ? label->text : "?";
+        if (const Value *scalars = group.field("scalars");
+            scalars && scalars->isObject()) {
+            for (const auto &[key, value] : scalars->fields) {
+                std::cout << std::left << std::setw(36)
+                          << (name + "." + key)
+                          << (value.isNumber() ? value.text : "?")
+                          << "\n";
+            }
+        }
+        if (const Value *histograms = group.field("histograms");
+            histograms && histograms->isObject()) {
+            for (const auto &[key, h] : histograms->fields) {
+                if (!h.isObject())
+                    continue;
+                std::cout << std::left << std::setw(36)
+                          << (name + "." + key) << "count "
+                          << numberText(h, "count") << " median "
+                          << numberText(h, "median") << " p95 "
+                          << numberText(h, "p95") << " min "
+                          << numberText(h, "min") << " max "
+                          << numberText(h, "max") << "\n";
+            }
+        }
+    }
+    return 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -36,6 +109,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 11;
     std::string jsonPath;
     bool verify = false;
+    bool statsz = false;
     std::uint64_t minCacheHits = 0;
 
     study::CliOptions cli(
@@ -107,6 +181,13 @@ main(int argc, char **argv)
                    verify = true;
                    return 0;
                });
+    cli.toggle("--statsz",
+               "fetch and pretty-print the daemon's live stats "
+               "snapshot instead of running a sweep",
+               [&]() {
+                   statsz = true;
+                   return 0;
+               });
     cli.number("--min-cache-hits", "N",
                "fail unless the daemon served >= N cells from cache",
                std::numeric_limits<std::uint64_t>::max(),
@@ -148,6 +229,25 @@ main(int argc, char **argv)
     if (!client.connected()) {
         std::cerr << prog << ": " << error << "\n";
         return 1;
+    }
+
+    if (statsz) {
+        serve::JobRequest probe;
+        probe.id = jobId;
+        probe.kind = serve::RequestKind::Stats;
+        const auto reply = client.call(probe, &error);
+        if (!reply) {
+            std::cerr << prog << ": " << error << "\n";
+            return 1;
+        }
+        if (!reply->ok()) {
+            std::cerr
+                << prog << ": daemon refused stats request: "
+                << serve::jobErrorCodeToken(reply->error->code)
+                << ": " << reply->error->message << "\n";
+            return 1;
+        }
+        return printStatsSnapshot(reply->statsJson, prog);
     }
 
     const auto response = client.call(request, &error);

@@ -10,6 +10,11 @@
  * "draining" error, every accepted cell finishes and its response is
  * written, the result cache is persisted (--cache-file), the final
  * stats document is emitted (--stats), and the daemon exits 0.
+ *
+ * The daemon runs with host profiling on: the serve group's latency
+ * histograms (queue wait, service time, end-to-end, cache-hit and
+ * coalesce splits) populate from the first job, and any client can
+ * read the live snapshot with triarch_client --statsz.
  */
 
 #include <atomic>
@@ -22,6 +27,7 @@
 
 #include "serve/server.hh"
 #include "serve/service.hh"
+#include "sim/host_clock.hh"
 #include "sim/logging.hh"
 #include "sim/metrics.hh"
 #include "sim/trace.hh"
@@ -134,6 +140,10 @@ main(int argc, char **argv)
     study::ensureParentDir("--stats", statsPath, prog);
     study::ensureParentDir("--trace", tracePath, prog);
 
+    // A long-lived daemon is exactly where wall-clock latency data
+    // pays for itself; the one-shot tools leave this off by default.
+    host::setProfiling(true);
+
     std::unique_ptr<trace::TraceSession> session;
     if (!tracePath.empty()) {
         session = std::make_unique<trace::TraceSession>();
@@ -206,6 +216,17 @@ main(int argc, char **argv)
         service.beginDrain();
         server.stop();
         service.drain();
+
+        // Freeze the uptime gauge now so the exit-time capture of
+        // the serve group (the service destructor) carries it, and
+        // leave a final snapshot of the counters in the log.
+        service.refreshUptime();
+        std::cout << "final stats: " << service.jobsAccepted()
+                  << " jobs accepted, " << service.jobsRefused()
+                  << " refused; " << service.cellsExecuted()
+                  << " cells executed, " << service.cellsFromCache()
+                  << " from cache, " << service.cellsCoalesced()
+                  << " coalesced\n";
 
         if (!cacheFile.empty()) {
             std::string saveError;

@@ -28,6 +28,7 @@
 #include "imagine/srf.hh"
 #include "mem/dram.hh"
 #include "sim/cycle_account.hh"
+#include "sim/host_clock.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -148,6 +149,10 @@ class ImagineMachine
 
     stats::StatGroup &statGroup() { return group; }
 
+    /** Where the registry mapping samples this cell's coarse
+     *  setup/run/readback host-time split (profiling-gated). */
+    host::HostPhases &hostTime() { return hostPhases; }
+
     std::uint64_t clusterBusy() const { return _clusterBusy.value(); }
     std::uint64_t memBusy() const { return _memBusy.value(); }
     std::uint64_t memWords() const { return _memWords.value(); }
@@ -204,6 +209,7 @@ class ImagineMachine
     stats::Scalar _descStalls;
     stats::Average _avgKernelIi;
     stats::BreakdownStats accountStats;
+    host::HostPhases hostPhases;
 };
 
 } // namespace triarch::imagine

@@ -16,6 +16,7 @@
 #include "mem/port.hh"
 #include "ppc/config.hh"
 #include "sim/cycle_account.hh"
+#include "sim/host_clock.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -74,6 +75,11 @@ class PpcMachine
     stats::CycleBreakdown cycleBreakdown(Cycles total);
 
     stats::StatGroup &statGroup() { return group; }
+
+    /** Where the registry mapping samples this cell's coarse
+     *  setup/run/readback host-time split (profiling-gated). */
+    host::HostPhases &hostTime() { return hostPhases; }
+
     std::uint64_t l1Misses() const { return l1.misses(); }
     std::uint64_t l2Misses() const { return l2.misses(); }
     std::uint64_t fsbWords() const { return fsb.wordsMoved(); }
@@ -103,6 +109,7 @@ class PpcMachine
     stats::Scalar _stores;
     stats::Scalar _memStall;
     stats::BreakdownStats accountStats;
+    host::HostPhases hostPhases;
 };
 
 } // namespace triarch::ppc

@@ -58,6 +58,14 @@ writeJobRequest(const JobRequest &request)
     w.beginObject(json::Writer::Style::Compact);
     w.member("schema", jobSchema());
     w.member("id", request.id);
+    if (request.kind == RequestKind::Stats) {
+        // A stats probe carries no work; config and cells stay off
+        // the wire so the request is schema + id + type only.
+        w.member("type", "stats");
+        w.endObject();
+        w.finish();
+        return os.str();
+    }
     w.key("config");
     writeStudyConfig(w, request.config);
     w.key("cells").beginArray();
@@ -88,6 +96,11 @@ writeJobResponse(const JobResponse &response)
         w.member("code", jobErrorCodeToken(response.error->code));
         w.member("message", response.error->message);
         w.endObject();
+    } else if (!response.statsJson.empty()) {
+        // The snapshot is already-rendered JSON (the daemon's
+        // triarch.stats.v1 document); splice it verbatim so the
+        // client sees exactly what the daemon's --stats file shows.
+        w.key("stats").rawValue(response.statsJson);
     } else {
         w.key("results").beginArray();
         for (const CellResult &cell : response.results) {
@@ -163,6 +176,18 @@ parseJobRequest(const std::string &text, JobRequest *request,
     if (!root)
         return false;
 
+    if (const json::Value *type = root->field("type")) {
+        if (!type->isString())
+            return reject(error, "type field is not a string");
+        if (type->text != "stats") {
+            return reject(error, "unknown request type '" + type->text
+                                     + "'");
+        }
+        out.kind = RequestKind::Stats;
+        *request = std::move(out);
+        return true;
+    }
+
     if (const json::Value *config = root->field("config")) {
         if (!study::parseStudyConfig(*config, &out.config, error))
             return false;
@@ -236,6 +261,16 @@ parseJobResponse(const std::string &text, JobResponse *response,
         if (!message || !message->isString())
             return reject(error, "error object missing message");
         out.error = JobError{*parsed, message->text};
+        *response = std::move(out);
+        return true;
+    }
+
+    if (const json::Value *statsDoc = root->field("stats")) {
+        if (!statsDoc->isObject())
+            return reject(error, "stats field is not an object");
+        // render() preserves the raw number text and field order, so
+        // a write/parse round trip of the snapshot is bit-exact.
+        out.statsJson = json::render(*statsDoc);
         *response = std::move(out);
         return true;
     }

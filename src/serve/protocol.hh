@@ -9,6 +9,13 @@
  * or a typed error (bad_request, overloaded, draining, unmapped,
  * internal).
  *
+ * A request may instead carry '"type": "stats"' — no cells — which
+ * asks the daemon for its current triarch.stats.v1 snapshot; the
+ * response then carries the snapshot verbatim under "stats" instead
+ * of a results array. Run requests never write the type field, so
+ * their wire bytes are unchanged from before the stats endpoint
+ * existed.
+ *
  * Like triarch.bench.v1, both documents round-trip: writeJobRequest
  * followed by parseJobRequest (and the response pair) reproduce the
  * original value bit-for-bit, which tests/test_serve.cc pins down.
@@ -33,12 +40,23 @@ namespace triarch::serve
 const std::string &jobSchema();
 const std::string &resultSchema();
 
+/** What a request asks the daemon to do. */
+enum class RequestKind
+{
+    Run,      //!< execute the cells (the default; no type field)
+    Stats,    //!< return the live stats snapshot ("type": "stats")
+};
+
 /** One job: run these cells under this config. */
 struct JobRequest
 {
     std::string id;                    //!< client-chosen correlation id
     study::StudyConfig config;         //!< paper defaults if omitted
-    std::vector<study::Cell> cells;    //!< at least one
+    std::vector<study::Cell> cells;    //!< at least one (Run only)
+
+    /** Stats requests serialize only schema/id/type; config and
+     *  cells are ignored for them. */
+    RequestKind kind = RequestKind::Run;
 
     friend bool operator==(const JobRequest &,
                            const JobRequest &) = default;
@@ -82,6 +100,11 @@ struct JobResponse
     std::string configHash;    //!< hex studyConfigHash of the job
     std::optional<JobError> error;
     std::vector<CellResult> results;    //!< request cell order
+
+    /** Stats-request answer: the daemon's triarch.stats.v1 snapshot,
+     *  rendered compactly. Empty for run responses; when non-empty
+     *  the wire document carries it verbatim instead of results. */
+    std::string statsJson;
 
     bool ok() const { return !error.has_value(); }
 

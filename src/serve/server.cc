@@ -168,10 +168,12 @@ SocketServer::serveConnection(int fd)
             JobRequest request;
             std::string parseError;
             JobResponse response;
-            if (parseJobRequest(line, &request, &parseError))
-                response = service.submit(request);
-            else
+            if (!parseJobRequest(line, &request, &parseError))
                 response = badRequestResponse(line, parseError);
+            else if (request.kind == RequestKind::Stats)
+                response = service.stats(request);
+            else
+                response = service.submit(request);
             if (!writeAll(fd, writeJobResponse(response) + "\n")) {
                 open = false;
                 break;

@@ -47,6 +47,21 @@ ExperimentService::ExperimentService(
                           "cells waiting for a worker (gauge)");
     group.addAtomicScalar("inflight", &inflightCells,
                           "cells queued or executing (gauge)");
+    group.addAtomicScalar("uptime_seconds", &uptimeSeconds,
+                          "seconds since the service started (gauge)");
+    group.addHistogram("job_e2e_ns", &jobE2eNs,
+                       "host ns from job submit to full response");
+    group.addHistogram("cell_queue_wait_ns", &cellQueueWaitNs,
+                       "host ns a cell sat queued before a worker");
+    group.addHistogram("cell_service_ns", &cellServiceNs,
+                       "host ns a worker spent executing a cell");
+    group.addHistogram("cell_e2e_ns", &cellE2eNs,
+                       "host ns from cell enqueue to its result");
+    group.addHistogram("cell_hit_ns", &cellHitNs,
+                       "host ns to answer a cell from the cache");
+    group.addHistogram("cell_coalesce_wait_ns", &cellCoalesceWaitNs,
+                       "host ns a coalesced cell waited on the "
+                       "in-flight copy");
     metrics::MetricsRegistry::global().registerLive(&group);
 
     if (opts.maxResidentWorkloads == 0)
@@ -83,6 +98,37 @@ ExperimentService::updateGaugesLocked()
 {
     queueDepth.set(queue.size());
     inflightCells.set(outstanding);
+}
+
+void
+ExperimentService::refreshUptime()
+{
+    uptimeSeconds.set((host::nowNs() - bornNs) / 1000000000ull);
+}
+
+std::string
+ExperimentService::statsJson()
+{
+    refreshUptime();
+    return metrics::MetricsRegistry::global().toJson();
+}
+
+JobResponse
+ExperimentService::stats(const JobRequest &request)
+{
+    JobResponse response;
+    response.id = request.id;
+    response.configHash =
+        hashHex(study::studyConfigHash(request.config));
+    if (draining()) {
+        ++nJobsRefused;
+        response.error =
+            JobError{JobErrorCode::Draining,
+                     "daemon is draining; stats unavailable"};
+        return response;
+    }
+    response.statsJson = statsJson();
+    return response;
 }
 
 void
@@ -154,6 +200,12 @@ ExperimentService::workerLoop()
         updateGaugesLocked();
         lock.unlock();
 
+        const bool hostOn =
+            task.enqueueNs != 0 && host::profilingEnabled();
+        const std::uint64_t pickNs = hostOn ? host::nowNs() : 0;
+        if (hostOn)
+            cellQueueWaitNs.record(pickNs - task.enqueueNs);
+
         if (!ts)
             ts = trace::TraceSession::active();
         ExecOutcome outcome;
@@ -174,6 +226,11 @@ ExperimentService::workerLoop()
                              + study::kernelToken(cell.kernel),
                          "serve", execUs, ts->nowUs() - execUs);
             }
+        }
+        if (hostOn) {
+            const std::uint64_t doneNs = host::nowNs();
+            cellServiceNs.record(doneNs - pickNs);
+            cellE2eNs.record(doneNs - task.enqueueNs);
         }
 
         lock.lock();
@@ -197,6 +254,8 @@ ExperimentService::submit(const JobRequest &request)
 {
     trace::TraceSession *ts = trace::TraceSession::active();
     const double startUs = ts ? ts->nowUs() : 0.0;
+    const bool hostOn = host::profilingEnabled();
+    const std::uint64_t startNs = hostOn ? host::nowNs() : 0;
 
     JobResponse response;
     response.id = request.id;
@@ -292,7 +351,8 @@ ExperimentService::submit(const JobRequest &request)
             d.future = promise->get_future().share();
             inflight.emplace(d.key, d.future);
             queue.push_back(Task{d.key, request.config,
-                                 request.cells[i], std::move(promise)});
+                                 request.cells[i], std::move(promise),
+                                 hostOn ? host::nowNs() : 0});
             ++outstanding;
         }
         // Intra-job duplicates attach to the future created above.
@@ -308,11 +368,16 @@ ExperimentService::submit(const JobRequest &request)
     response.results.reserve(decisions.size());
     for (Decision &d : decisions) {
         if (d.kind == Decision::Kind::Hit) {
+            if (hostOn)
+                cellHitNs.record(host::nowNs() - startNs);
             response.results.push_back(
                 CellResult{std::move(d.hit), true});
             continue;
         }
+        const std::uint64_t waitNs = hostOn ? host::nowNs() : 0;
         ExecOutcome outcome = d.future.get();
+        if (hostOn && d.kind == Decision::Kind::Wait)
+            cellCoalesceWaitNs.record(host::nowNs() - waitNs);
         if (outcome.error) {
             response.results.clear();
             response.error = std::move(outcome.error);
@@ -321,6 +386,8 @@ ExperimentService::submit(const JobRequest &request)
         response.results.push_back(
             CellResult{std::move(*outcome.result), false});
     }
+    if (hostOn)
+        jobE2eNs.record(host::nowNs() - startNs);
 
     if (ts) {
         ts->span("job:" + request.id, "serve", startUs,

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "serve/protocol.hh"
+#include "sim/host_clock.hh"
 #include "sim/stats.hh"
 #include "study/registry.hh"
 #include "study/result_cache.hh"
@@ -76,6 +77,12 @@ class ExperimentService
      *  error rather than an exception or a hang). Thread-safe. */
     JobResponse submit(const JobRequest &request);
 
+    /** Answer a "stats" request: the live triarch.stats.v1 snapshot
+     *  under JobResponse::statsJson, or a Draining error once
+     *  beginDrain() was called (exit-time counters land in the
+     *  --stats file instead). Thread-safe. */
+    JobResponse stats(const JobRequest &request);
+
     /** Stop accepting jobs; already-accepted cells keep running. */
     void beginDrain();
 
@@ -89,8 +96,22 @@ class ExperimentService
     const study::ResultCache &cache() const { return *resultCache; }
 
     /** The "serve" group: gauges + counters listed in the file
-     *  comment. Live-registered for the service's lifetime. */
+     *  comment. Live-registered for the service's lifetime. When
+     *  host profiling is enabled the group also carries latency
+     *  histograms: job_e2e_ns, cell_queue_wait_ns, cell_service_ns,
+     *  cell_e2e_ns, plus the cache-hit / coalesce split (cell_hit_ns,
+     *  cell_coalesce_wait_ns). */
     const stats::StatGroup &statGroup() const { return group; }
+
+    /**
+     * Refresh the uptime gauge and render the current global
+     * triarch.stats.v1 document compactly (one line, no trailing
+     * newline) — the payload of the wire "stats" request.
+     */
+    std::string statsJson();
+
+    /** Update serve.uptime_seconds from the monotonic clock. */
+    void refreshUptime();
 
     /** Counter accessors for tests. */
     std::uint64_t jobsAccepted() const { return nJobsAccepted.value(); }
@@ -125,6 +146,7 @@ class ExperimentService
         study::StudyConfig config;
         study::Cell cell;
         std::shared_ptr<std::promise<ExecOutcome>> promise;
+        std::uint64_t enqueueNs = 0;    //!< host clock; 0 = unprofiled
     };
 
     void workerLoop();
@@ -165,6 +187,18 @@ class ExperimentService
     stats::AtomicScalar nCellsFromCache;
     stats::AtomicScalar queueDepth;      //!< gauge
     stats::AtomicScalar inflightCells;   //!< gauge
+    stats::AtomicScalar uptimeSeconds;   //!< gauge, refreshUptime()
+
+    // Host-time latency histograms; empty (and invisible) unless
+    // host profiling is on.
+    stats::Histogram jobE2eNs;
+    stats::Histogram cellQueueWaitNs;
+    stats::Histogram cellServiceNs;
+    stats::Histogram cellE2eNs;
+    stats::Histogram cellHitNs;
+    stats::Histogram cellCoalesceWaitNs;
+
+    const std::uint64_t bornNs = host::nowNs();
 };
 
 } // namespace triarch::serve

@@ -168,6 +168,15 @@ struct Value
  */
 std::optional<Value> parse(const std::string &text, std::string *error);
 
+/**
+ * Re-serialize a parsed Value compactly. Numbers are spliced back as
+ * their original raw text and field order is preserved, so a
+ * parse()/render() round trip of a compact document is bit-exact —
+ * which is how the daemon embeds a client-visible stats snapshot
+ * without reformatting it.
+ */
+std::string render(const Value &v);
+
 } // namespace triarch::json
 
 #endif // TRIARCH_SIM_JSON_HH

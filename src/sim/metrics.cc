@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <sstream>
 
 #include "sim/json.hh"
 #include "sim/logging.hh"
@@ -16,7 +17,8 @@ GroupSnapshot
 snapshotOf(const stats::StatGroup &group)
 {
     return {group.name(), group.scalarReadings(),
-            group.averageReadings(), group.distributionReadings()};
+            group.averageReadings(), group.distributionReadings(),
+            group.histogramReadings()};
 }
 
 void
@@ -57,6 +59,32 @@ writeGroup(json::Writer &w, const std::string &label,
         w.endObject();
     }
     w.endObject();
+
+    // Host-time histograms carry wall-clock samples, so the key is
+    // emitted only when something was recorded: a profiling-off run
+    // renders this group byte-identically to the pre-host repo.
+    if (!snap.histograms.empty()) {
+        w.key("histograms").beginObject(json::Writer::Style::Compact);
+        for (const auto &h : snap.histograms) {
+            w.key(h.name).beginObject();
+            w.member("count", h.count);
+            w.member("sum", h.sum);
+            w.member("min", h.min);
+            w.member("max", h.max);
+            w.member("median", h.median);
+            w.member("p95", h.p95);
+            w.key("buckets").beginArray();
+            for (const auto &[index, bucket_count] : h.buckets) {
+                w.beginArray();
+                w.value(index);
+                w.value(bucket_count);
+                w.endArray();
+            }
+            w.endArray();
+            w.endObject();
+        }
+        w.endObject();
+    }
 
     w.endObject();
 }
@@ -105,7 +133,7 @@ MetricsRegistry::clear()
 }
 
 void
-MetricsRegistry::writeJson(std::ostream &os) const
+MetricsRegistry::writeJson(std::ostream &os, bool compact) const
 {
     // Merge live groups (read now) into the snapshot map so the
     // document comes out in one label-sorted sweep regardless of
@@ -118,16 +146,27 @@ MetricsRegistry::writeJson(std::ostream &os) const
             merged.insert_or_assign(g->name(), snapshotOf(*g));
     }
 
+    const auto style = compact ? json::Writer::Style::Compact
+                               : json::Writer::Style::Pretty;
     json::Writer w(os);
-    w.beginObject();
+    w.beginObject(style);
     w.member("schema", "triarch.stats.v1");
-    w.key("groups").beginArray();
+    w.key("groups").beginArray(style);
     for (const auto &[label, snap] : merged)
         writeGroup(w, label, snap);
     w.endArray();
     w.endObject();
     w.finish();
-    os << "\n";
+    if (!compact)
+        os << "\n";
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::ostringstream os;
+    writeJson(os, /*compact=*/true);
+    return os.str();
 }
 
 void

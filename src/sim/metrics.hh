@@ -36,6 +36,9 @@ struct GroupSnapshot
     std::vector<stats::ScalarReading> scalars;
     std::vector<stats::AverageReading> averages;
     std::vector<stats::DistributionReading> distributions;
+    /** Non-empty histograms only (host-time observability); a group
+     *  that never recorded one renders exactly as before. */
+    std::vector<stats::HistogramReading> histograms;
 };
 
 class MetricsRegistry
@@ -71,8 +74,13 @@ class MetricsRegistry
     /** Drop all snapshots and live registrations. */
     void clear();
 
-    /** Render the "triarch.stats.v1" document. */
-    void writeJson(std::ostream &os) const;
+    /** Render the "triarch.stats.v1" document. With @p compact the
+     *  whole document lands on one line (no trailing newline) — the
+     *  form the daemon's stats wire response embeds. */
+    void writeJson(std::ostream &os, bool compact = false) const;
+
+    /** The compact one-line rendering as a string. */
+    std::string toJson() const;
 
     /** Render to @p path; fatal if the file cannot be written. */
     void writeJsonFile(const std::string &path) const;

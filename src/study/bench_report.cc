@@ -8,6 +8,7 @@
 
 #include "sim/json.hh"
 #include "sim/logging.hh"
+#include "study/machine_info.hh"
 #include "study/study_json.hh"
 
 namespace triarch::study
@@ -43,6 +44,16 @@ const BenchCell *
 BenchReport::find(MachineId machine, KernelId kernel) const
 {
     for (const BenchCell &cell : cells) {
+        if (cell.machine == machine && cell.kernel == kernel)
+            return &cell;
+    }
+    return nullptr;
+}
+
+const HostCellTiming *
+HostSection::find(MachineId machine, KernelId kernel) const
+{
+    for (const HostCellTiming &cell : cells) {
         if (cell.machine == machine && cell.kernel == kernel)
             return &cell;
     }
@@ -105,6 +116,27 @@ writeBenchReportJson(const BenchReport &report, std::ostream &os)
         w.endObject();
     }
     w.endArray();
+    if (report.host) {
+        const HostSection &host = *report.host;
+        w.key("host").beginObject();
+        w.member("warmup", host.warmup);
+        w.member("repetitions", host.repetitions);
+        w.member("pinned", host.pinned);
+        w.member("cells_per_sec", host.cellsPerSec);
+        w.key("cells").beginArray();
+        for (const HostCellTiming &cell : host.cells) {
+            w.beginObject(json::Writer::Style::Compact);
+            w.member("machine", machineToken(cell.machine));
+            w.member("kernel", kernelToken(cell.kernel));
+            w.member("median_ns", cell.medianNs);
+            w.member("p95_ns", cell.p95Ns);
+            w.member("min_ns", cell.minNs);
+            w.member("stddev_ns", cell.stddevNs);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
     w.endObject();
     w.finish();
     os << "\n";
@@ -182,6 +214,71 @@ parseBenchReportJson(const std::string &text, std::string *error)
         cell.validated = parsed.validated;
         cell.breakdown = parsed.breakdown;
         report.cells.push_back(std::move(cell));
+    }
+
+    if (const json::Value *host = root->field("host")) {
+        if (!host->isObject())
+            return reject(error, "host section is not an object");
+        HostSection section;
+        const json::Value *warmup = host->field("warmup");
+        if (!warmup || !warmup->asU64(section.warmup))
+            return reject(error, "host: missing or non-integer warmup");
+        const json::Value *reps = host->field("repetitions");
+        if (!reps || !reps->asU64(section.repetitions))
+            return reject(error,
+                          "host: missing or non-integer repetitions");
+        const json::Value *pinned = host->field("pinned");
+        if (!pinned || !pinned->isBool())
+            return reject(error, "host: missing or non-bool pinned");
+        section.pinned = pinned->boolean;
+        const json::Value *rate = host->field("cells_per_sec");
+        if (!rate || !rate->asDouble(section.cellsPerSec))
+            return reject(error,
+                          "host: missing or non-number cells_per_sec");
+        const json::Value *hostCells = host->field("cells");
+        if (!hostCells || !hostCells->isArray())
+            return reject(error, "host: missing cells array");
+        for (const json::Value &entry : hostCells->items) {
+            if (!entry.isObject())
+                return reject(error,
+                              "host cell entry is not an object");
+            HostCellTiming timing;
+            const json::Value *machine = entry.field("machine");
+            const json::Value *kernel = entry.field("kernel");
+            if (!machine || !machine->isString() || !kernel
+                || !kernel->isString()) {
+                return reject(error,
+                              "host cell: missing machine/kernel");
+            }
+            const auto mid = parseMachineToken(machine->text);
+            const auto kid = parseKernelToken(kernel->text);
+            if (!mid || !kid) {
+                return reject(error, "host cell: unknown pair "
+                                         + machine->text + "/"
+                                         + kernel->text);
+            }
+            timing.machine = *mid;
+            timing.kernel = *kid;
+            const auto number = [&entry](const char *field_name,
+                                         double &out) {
+                const json::Value *v = entry.field(field_name);
+                return v && v->asDouble(out);
+            };
+            if (!number("median_ns", timing.medianNs)
+                || !number("p95_ns", timing.p95Ns)
+                || !number("min_ns", timing.minNs)
+                || !number("stddev_ns", timing.stddevNs)) {
+                return reject(error,
+                              "host cell: missing timing fields");
+            }
+            if (section.find(timing.machine, timing.kernel)) {
+                return reject(error, "host: duplicate cell "
+                                         + machine->text + "/"
+                                         + kernel->text);
+            }
+            section.cells.push_back(timing);
+        }
+        report.host = std::move(section);
     }
     return report;
 }
@@ -283,6 +380,79 @@ diffBenchReports(const BenchReport &baseline, const BenchReport &fresh,
                   + std::to_string(*cell->measuredUnbalanced)
                   + " drifted from "
                   + std::to_string(*base.measuredUnbalanced));
+        }
+    }
+    return result;
+}
+
+BenchDiffResult
+diffHostSections(const BenchReport &baseline, const BenchReport &fresh,
+                 double gate_ratio, std::vector<std::string> *advisory)
+{
+    BenchDiffResult result;
+    const bool gated = gate_ratio > 0.0;
+    const auto note = [advisory](const std::string &line) {
+        if (advisory)
+            advisory->push_back(line);
+    };
+
+    if (!baseline.host || !fresh.host) {
+        const std::string which = !baseline.host && !fresh.host
+                                      ? "either report"
+                                      : (!baseline.host ? "the baseline"
+                                                        : "the fresh "
+                                                          "report");
+        if (gated) {
+            result.failures.push_back(
+                "host gate requested but " + which
+                + " has no host section");
+        } else {
+            note("host: no host section in " + which
+                 + "; nothing to compare");
+        }
+        return result;
+    }
+
+    const HostSection &base = *baseline.host;
+    const HostSection &next = *fresh.host;
+    std::ostringstream header;
+    header << "host: baseline " << base.cellsPerSec
+           << " cells/sec vs fresh " << next.cellsPerSec
+           << " cells/sec (" << next.repetitions << " reps)";
+    note(header.str());
+
+    for (const HostCellTiming &cell : base.cells) {
+        const HostCellTiming *freshCell =
+            next.find(cell.machine, cell.kernel);
+        const std::string name = machineToken(cell.machine) + "/"
+                                 + kernelToken(cell.kernel);
+        if (!freshCell) {
+            if (gated) {
+                result.failures.push_back(
+                    "host " + name + ": missing from the fresh report");
+            } else {
+                note("host " + name + ": missing from the fresh report");
+            }
+            continue;
+        }
+        ++result.cellsCompared;
+        const double ratio =
+            cell.medianNs > 0.0 ? freshCell->medianNs / cell.medianNs
+                                : 0.0;
+        std::ostringstream line;
+        line << "host " << name << ": median "
+             << freshCell->medianNs / 1e6 << " ms vs baseline "
+             << cell.medianNs / 1e6 << " ms (" << std::setprecision(3)
+             << ratio << "x)";
+        note(line.str());
+        if (gated && cell.medianNs > 0.0
+            && freshCell->medianNs > cell.medianNs * gate_ratio) {
+            std::ostringstream failure;
+            failure << "host " << name << ": median "
+                    << freshCell->medianNs << " ns exceeds baseline "
+                    << cell.medianNs << " ns by more than the "
+                    << gate_ratio << "x gate";
+            result.failures.push_back(failure.str());
         }
     }
     return result;

@@ -51,6 +51,44 @@ struct BenchCell
                            const BenchCell &) = default;
 };
 
+/**
+ * Host wall-clock timing of one cell: robust statistics over the
+ * repeated-measurement contract (host_clock.hh), in nanoseconds.
+ */
+struct HostCellTiming
+{
+    MachineId machine{};
+    KernelId kernel{};
+    double medianNs = 0.0;
+    double p95Ns = 0.0;
+    double minNs = 0.0;
+    double stddevNs = 0.0;
+
+    friend bool operator==(const HostCellTiming &,
+                           const HostCellTiming &) = default;
+};
+
+/**
+ * The optional "host" section of a bench report: where the *host*
+ * time goes, next to the simulated-cycle cells. Absent by default so
+ * documents written without the host flags stay byte-identical.
+ */
+struct HostSection
+{
+    std::uint64_t warmup = 0;       //!< unmeasured priming iterations
+    std::uint64_t repetitions = 0;  //!< measured iterations per cell
+    bool pinned = false;            //!< thread was pinned to a core
+    double cellsPerSec = 0.0;       //!< grid throughput at the medians
+    std::vector<HostCellTiming> cells;
+
+    /** Lookup, or nullptr when the cell is absent. */
+    const HostCellTiming *find(MachineId machine,
+                               KernelId kernel) const;
+
+    friend bool operator==(const HostSection &,
+                           const HostSection &) = default;
+};
+
 /** A versioned benchmark document. */
 struct BenchReport
 {
@@ -58,6 +96,7 @@ struct BenchReport
     std::string configHash;     //!< hex studyConfigHash of the run
     std::uint64_t seed = 0;
     std::vector<BenchCell> cells;
+    std::optional<HostSection> host;
 
     /** Lookup, or nullptr when the cell is absent. */
     const BenchCell *find(MachineId machine, KernelId kernel) const;
@@ -117,6 +156,21 @@ struct BenchDiffResult
 BenchDiffResult diffBenchReports(const BenchReport &baseline,
                                  const BenchReport &fresh,
                                  const BenchDiffOptions &opts = {});
+
+/**
+ * Compare the host sections of two reports. Host time is hardware-
+ * dependent, so by default every observation is an advisory line in
+ * *advisory (when non-null), never a failure. With @p gate_ratio > 0
+ * the comparison is enforced: a fresh cell whose median exceeds
+ * baseline * gate_ratio becomes a failure, as does a missing host
+ * section on either side. Reports without host sections compare ok
+ * when no gate is requested.
+ */
+BenchDiffResult diffHostSections(const BenchReport &baseline,
+                                 const BenchReport &fresh,
+                                 double gate_ratio = 0.0,
+                                 std::vector<std::string> *advisory
+                                 = nullptr);
 
 /**
  * Loose absolute anchor: every cell's cycle count must lie within

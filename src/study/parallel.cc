@@ -4,6 +4,7 @@
 #include <string>
 #include <thread>
 
+#include "sim/host_clock.hh"
 #include "sim/logging.hh"
 #include "sim/metrics.hh"
 #include "sim/trace.hh"
@@ -50,6 +51,10 @@ ParallelRunner::ParallelRunner(StudyConfig run_config,
                                "cells served from the result cache");
     schedGroup.addAtomicScalar("cells_missing", &nCellsMissing,
                                "cells with no registered mapping");
+    schedGroup.addHistogram("cell_host_ns", &cellHostNs,
+                            "host ns per executed cell mapping");
+    schedGroup.addHistogram("queue_wait_ns", &queueWaitNs,
+                            "host ns a cell waited for a worker");
     metrics::MetricsRegistry::global().registerLive(&schedGroup);
 }
 
@@ -104,6 +109,10 @@ ParallelRunner::tryRunCells(const std::vector<Cell> &cells)
     // same place even if tracing stops mid-batch.
     trace::TraceSession *ts = trace::TraceSession::active();
     const double batchStartUs = ts ? ts->nowUs() : 0.0;
+    // Host-time histograms use their own clock so queue_wait survives
+    // in --stats documents even when no trace session is attached.
+    const bool hostOn = host::profilingEnabled();
+    const std::uint64_t batchStartNs = hostOn ? host::nowNs() : 0;
     ++nBatches;
 
     auto cellLabel = [](const Cell &cell) {
@@ -155,6 +164,7 @@ ParallelRunner::tryRunCells(const std::vector<Cell> &cells)
             const std::size_t slot = pending[ticket];
             const Cell &cell = cells[slot];
             const double pickUs = ts ? ts->nowUs() : 0.0;
+            const std::uint64_t pickNs = hostOn ? host::nowNs() : 0;
             const KernelMapping *mapping =
                 mappings->find(cell.machine, cell.kernel);
             if (!mapping) {
@@ -165,6 +175,11 @@ ParallelRunner::tryRunCells(const std::vector<Cell> &cells)
             }
             const double execUs = ts ? ts->nowUs() : 0.0;
             RunResult result = (*mapping)(cfg, *work);
+            if (hostOn) {
+                const std::uint64_t doneNs = host::nowNs();
+                cellHostNs.record(doneNs - pickNs);
+                queueWaitNs.record(pickNs - batchStartNs);
+            }
             if (ts) {
                 ts->span("execute", "cell", execUs,
                          ts->nowUs() - execUs);

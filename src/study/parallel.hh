@@ -100,7 +100,10 @@ class ParallelRunner
      * in the global MetricsRegistry for this runner's lifetime):
      * batches submitted, cells executed / served from cache / found
      * unmapped. Counts only — no wall clock — so the values are
-     * identical at any worker-thread count.
+     * identical at any worker-thread count. When host profiling is
+     * enabled (host::setProfiling) the group additionally carries
+     * cell_host_ns / queue_wait_ns histograms; those record wall
+     * clock and are empty (hence invisible) otherwise.
      */
     const stats::StatGroup &statGroup() const { return schedGroup; }
 
@@ -117,6 +120,8 @@ class ParallelRunner
     stats::AtomicScalar nCellsRun;
     stats::AtomicScalar nCellsCached;
     stats::AtomicScalar nCellsMissing;
+    stats::Histogram cellHostNs;
+    stats::Histogram queueWaitNs;
 };
 
 } // namespace triarch::study

@@ -3,6 +3,7 @@
 #include "imagine/kernels_imagine.hh"
 #include "ppc/kernels_ppc.hh"
 #include "raw/kernels_raw.hh"
+#include "sim/host_clock.hh"
 #include "sim/logging.hh"
 #include "sim/metrics.hh"
 #include "viram/kernels_viram.hh"
@@ -91,10 +92,13 @@ registerPpc(MappingRegistry &r, MachineId id, bool altivec)
     r.add(id, KernelId::CornerTurn,
           [id, altivec](const StudyConfig &, const Workloads &work) {
               RunResult result = cellResult(id, KernelId::CornerTurn);
+              host::PhaseSplit split;
               ppc::PpcMachine m;
               kernels::WordMatrix dst;
+              split.startRun();
               result.cycles =
                   ppc::cornerTurnPpc(m, work.matrix, dst, altivec);
+              split.startReadback();
               result.notes.emplace_back(
                   "ppc.mem_stall_fraction",
                   static_cast<double>(m.memStallCycles())
@@ -102,6 +106,7 @@ registerPpc(MappingRegistry &r, MachineId id, bool altivec)
               result.validated =
                   kernels::isTransposeOf(work.matrix, dst);
               result.breakdown = m.cycleBreakdown(result.cycles);
+              split.record(m.hostTime());
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -109,14 +114,18 @@ registerPpc(MappingRegistry &r, MachineId id, bool altivec)
     r.add(id, KernelId::Cslc,
           [id, altivec](const StudyConfig &cfg, const Workloads &work) {
               RunResult result = cellResult(id, KernelId::Cslc);
+              host::PhaseSplit split;
               ppc::PpcMachine m;
               kernels::CslcOutput out;
+              split.startRun();
               result.cycles =
                   ppc::cslcPpc(m, cfg.cslc, work.cslcIn, work.weights,
                                out, altivec);
+              split.startReadback();
               result.validated = cslcOutputValid(
                   cfg, work, out, kernels::FftAlgo::Radix2);
               result.breakdown = m.cycleBreakdown(result.cycles);
+              split.record(m.hostTime());
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -125,12 +134,16 @@ registerPpc(MappingRegistry &r, MachineId id, bool altivec)
           [id, altivec](const StudyConfig &cfg, const Workloads &work) {
               RunResult result =
                   cellResult(id, KernelId::BeamSteering);
+              host::PhaseSplit split;
               ppc::PpcMachine m;
               std::vector<std::int32_t> out;
+              split.startRun();
               result.cycles = ppc::beamSteeringPpc(
                   m, cfg.beam, work.tables, out, altivec);
+              split.startReadback();
               result.validated = out == work.beamRef;
               result.breakdown = m.cycleBreakdown(result.cycles);
+              split.record(m.hostTime());
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -149,10 +162,13 @@ registerViram(MappingRegistry &r)
           [](const StudyConfig &, const Workloads &work) {
               RunResult result =
                   cellResult(MachineId::Viram, KernelId::CornerTurn);
+              host::PhaseSplit split;
               viram::ViramMachine m;
               kernels::WordMatrix dst;
+              split.startRun();
               result.cycles =
                   viram::cornerTurnViram(m, work.matrix, dst);
+              split.startReadback();
               result.notes.emplace_back(
                   "viram.row_overhead_fraction",
                   static_cast<double>(m.rowOverheadCycles())
@@ -164,6 +180,7 @@ registerViram(MappingRegistry &r)
               result.validated =
                   kernels::isTransposeOf(work.matrix, dst);
               result.breakdown = m.cycleBreakdown(result.cycles);
+              split.record(m.hostTime());
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -172,10 +189,13 @@ registerViram(MappingRegistry &r)
           [](const StudyConfig &cfg, const Workloads &work) {
               RunResult result =
                   cellResult(MachineId::Viram, KernelId::Cslc);
+              host::PhaseSplit split;
               viram::ViramMachine m;
               kernels::CslcOutput out;
+              split.startRun();
               result.cycles = viram::cslcViram(m, cfg.cslc, work.cslcIn,
                                                work.weights, out);
+              split.startReadback();
               result.validated = cslcOutputValid(
                   cfg, work, out, kernels::FftAlgo::Radix2);
               result.notes.emplace_back(
@@ -183,6 +203,7 @@ registerViram(MappingRegistry &r)
                   static_cast<double>(m.permInstructions())
                       / m.vectorInstructions());
               result.breakdown = m.cycleBreakdown(result.cycles);
+              split.record(m.hostTime());
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -191,10 +212,13 @@ registerViram(MappingRegistry &r)
           [](const StudyConfig &cfg, const Workloads &work) {
               RunResult result = cellResult(MachineId::Viram,
                                             KernelId::BeamSteering);
+              host::PhaseSplit split;
               viram::ViramMachine m;
               std::vector<std::int32_t> out;
+              split.startRun();
               result.cycles = viram::beamSteeringViram(m, cfg.beam,
                                                        work.tables, out);
+              split.startReadback();
               const double compute =
                   static_cast<double>(m.vau0Busy() + m.vau1Busy())
                   / 2.0;
@@ -202,6 +226,7 @@ registerViram(MappingRegistry &r)
                                         compute / result.cycles);
               result.validated = out == work.beamRef;
               result.breakdown = m.cycleBreakdown(result.cycles);
+              split.record(m.hostTime());
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -220,15 +245,19 @@ registerImagine(MappingRegistry &r)
           [](const StudyConfig &, const Workloads &work) {
               RunResult result =
                   cellResult(MachineId::Imagine, KernelId::CornerTurn);
+              host::PhaseSplit split;
               imagine::ImagineMachine m;
               kernels::WordMatrix dst;
+              split.startRun();
               result.cycles =
                   imagine::cornerTurnImagine(m, work.matrix, dst);
+              split.startReadback();
               result.notes.emplace_back("imagine.memory_fraction",
                                         m.memoryFraction());
               result.validated =
                   kernels::isTransposeOf(work.matrix, dst);
               result.breakdown = m.cycleBreakdown(result.cycles);
+              split.record(m.hostTime());
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -237,15 +266,19 @@ registerImagine(MappingRegistry &r)
           [](const StudyConfig &cfg, const Workloads &work) {
               RunResult result =
                   cellResult(MachineId::Imagine, KernelId::Cslc);
+              host::PhaseSplit split;
               imagine::ImagineMachine m;
               kernels::CslcOutput out;
+              split.startRun();
               result.cycles = imagine::cslcImagine(
                   m, cfg.cslc, work.cslcIn, work.weights, out);
+              split.startReadback();
               result.validated = cslcOutputValid(
                   cfg, work, out, kernels::FftAlgo::Mixed128);
               result.notes.emplace_back("imagine.alu_utilization",
                                         m.aluUtilization());
               result.breakdown = m.cycleBreakdown(result.cycles);
+              split.record(m.hostTime());
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -254,14 +287,18 @@ registerImagine(MappingRegistry &r)
           [](const StudyConfig &cfg, const Workloads &work) {
               RunResult result = cellResult(MachineId::Imagine,
                                             KernelId::BeamSteering);
+              host::PhaseSplit split;
               imagine::ImagineMachine m;
               std::vector<std::int32_t> out;
+              split.startRun();
               result.cycles = imagine::beamSteeringImagine(
                   m, cfg.beam, work.tables, out);
+              split.startReadback();
               result.notes.emplace_back("imagine.memory_fraction",
                                         m.memoryFraction());
               result.validated = out == work.beamRef;
               result.breakdown = m.cycleBreakdown(result.cycles);
+              split.record(m.hostTime());
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -280,9 +317,12 @@ registerRaw(MappingRegistry &r)
           [](const StudyConfig &, const Workloads &work) {
               RunResult result =
                   cellResult(MachineId::Raw, KernelId::CornerTurn);
+              host::PhaseSplit split;
               raw::RawMachine m;
               kernels::WordMatrix dst;
+              split.startRun();
               result.cycles = raw::cornerTurnRaw(m, work.matrix, dst);
+              split.startReadback();
               result.notes.emplace_back(
                   "raw.instr_per_cycle_per_tile",
                   static_cast<double>(m.instructions())
@@ -290,6 +330,7 @@ registerRaw(MappingRegistry &r)
               result.validated =
                   kernels::isTransposeOf(work.matrix, dst);
               result.breakdown = m.cycleBreakdown(result.cycles);
+              split.record(m.hostTime());
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -298,10 +339,13 @@ registerRaw(MappingRegistry &r)
           [](const StudyConfig &cfg, const Workloads &work) {
               RunResult result =
                   cellResult(MachineId::Raw, KernelId::Cslc);
+              host::PhaseSplit split;
               raw::RawMachine m;
               kernels::CslcOutput out;
+              split.startRun();
               auto r2 = raw::cslcRaw(m, cfg.cslc, work.cslcIn,
                                      work.weights, out);
+              split.startReadback();
               result.cycles = r2.balancedCycles;
               result.measuredUnbalanced = r2.cycles;
               result.validated = cslcOutputValid(
@@ -321,6 +365,7 @@ registerRaw(MappingRegistry &r)
               // result.cycles is the balanced extrapolation, not the
               // measured wall clock: the account rescales.
               result.breakdown = m.cycleBreakdown(result.cycles);
+              split.record(m.hostTime());
               captureStats(m.statGroup(), result);
               return result;
           });
@@ -329,15 +374,19 @@ registerRaw(MappingRegistry &r)
           [](const StudyConfig &cfg, const Workloads &work) {
               RunResult result =
                   cellResult(MachineId::Raw, KernelId::BeamSteering);
+              host::PhaseSplit split;
               raw::RawMachine m;
               std::vector<std::int32_t> out;
+              split.startRun();
               result.cycles =
                   raw::beamSteeringRaw(m, cfg.beam, work.tables, out);
+              split.startReadback();
               result.notes.emplace_back(
                   "raw.loads_stores",
                   static_cast<double>(m.loadStores()));
               result.validated = out == work.beamRef;
               result.breakdown = m.cycleBreakdown(result.cycles);
+              split.record(m.hostTime());
               captureStats(m.statGroup(), result);
               return result;
           });

@@ -36,6 +36,7 @@ ViramMachine::ViramMachine(const ViramConfig &machine_config)
     group.addAverage("avg_vl", &_avgVl,
                      "mean vector length per instruction");
     accountStats.registerIn(group);
+    hostPhases.addTo(group);
 }
 
 Addr

@@ -31,6 +31,7 @@
 
 #include "mem/cache.hh"
 #include "sim/cycle_account.hh"
+#include "sim/host_clock.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 #include "viram/config.hh"
@@ -154,6 +155,10 @@ class ViramMachine
 
     stats::StatGroup &statGroup() { return group; }
 
+    /** Where the registry mapping samples this cell's coarse
+     *  setup/run/readback host-time split (profiling-gated). */
+    host::HostPhases &hostTime() { return hostPhases; }
+
     std::uint64_t vectorInstructions() const { return _vinsts.value(); }
     std::uint64_t rowOverheadCycles() const { return _rowCycles.value(); }
     std::uint64_t tlbOverheadCycles() const { return _tlbCycles.value(); }
@@ -234,6 +239,7 @@ class ViramMachine
     stats::Scalar _memWords;
     stats::Average _avgVl;
     stats::BreakdownStats accountStats;
+    host::HostPhases hostPhases;
 };
 
 } // namespace triarch::viram

@@ -400,5 +400,123 @@ TEST(BenchDiff, PaperTargetBandCatchesGrossDrift)
     EXPECT_FALSE(checkPaperTargets(report, 2.0).ok());
 }
 
+// ---------------------------------------------------------------
+// The optional host section: round-trip, absence is byte-identical,
+// and the advisory/gated host-time comparison.
+// ---------------------------------------------------------------
+
+/** A small synthetic host section over two cells. */
+HostSection
+fakeHostSection()
+{
+    HostSection host;
+    host.warmup = 1;
+    host.repetitions = 5;
+    host.pinned = true;
+    host.cellsPerSec = 12.5;
+    host.cells.push_back(HostCellTiming{
+        MachineId::Viram, KernelId::CornerTurn, 4.0e7, 4.5e7, 3.9e7,
+        2.0e5});
+    host.cells.push_back(HostCellTiming{
+        MachineId::Raw, KernelId::BeamSteering, 8.0e7, 9.0e7, 7.5e7,
+        5.0e5});
+    return host;
+}
+
+TEST(BenchReportHost, SectionRoundTripsAndAbsenceIsByteIdentical)
+{
+    const BenchReport &bare = smallReport();
+    std::ostringstream withoutHost;
+    writeBenchReportJson(bare, withoutHost);
+    EXPECT_EQ(withoutHost.str().find("\"host\""), std::string::npos)
+        << "no host flags, no host key";
+
+    BenchReport report = bare;
+    report.host = fakeHostSection();
+    std::ostringstream os;
+    writeBenchReportJson(report, os);
+    std::string error;
+    const auto parsed = parseBenchReportJson(os.str(), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(*parsed, report);
+    ASSERT_TRUE(parsed->host.has_value());
+    const HostCellTiming *cell =
+        parsed->host->find(MachineId::Viram, KernelId::CornerTurn);
+    ASSERT_NE(cell, nullptr);
+    EXPECT_EQ(cell->medianNs, 4.0e7);
+    EXPECT_EQ(parsed->host->find(MachineId::Imagine, KernelId::Cslc),
+              nullptr);
+}
+
+TEST(BenchReportHost, ParserRejectsMalformedHostSections)
+{
+    const auto rejects = [](const std::string &hostJson,
+                            const std::string &substr) {
+        const std::string doc =
+            R"({"schema": "triarch.bench.v1", "config_hash": "x",
+                "seed": 1, "cells": [], "host": )"
+            + hostJson + "}";
+        std::string error;
+        EXPECT_FALSE(parseBenchReportJson(doc, &error)) << hostJson;
+        EXPECT_NE(error.find(substr), std::string::npos)
+            << "error was: " << error;
+    };
+
+    rejects("[]", "host");
+    rejects(R"({"repetitions": 5})", "warmup");
+    rejects(R"({"warmup": 1, "repetitions": 5, "pinned": false,
+                "cells_per_sec": 1.0, "cells": [
+                  {"machine": "cray", "kernel": "ct", "median_ns": 1,
+                   "p95_ns": 1, "min_ns": 1, "stddev_ns": 0}]})",
+            "cray");
+    rejects(R"({"warmup": 1, "repetitions": 5, "pinned": false,
+                "cells_per_sec": 1.0, "cells": [
+                  {"machine": "viram", "kernel": "ct",
+                   "p95_ns": 1, "min_ns": 1, "stddev_ns": 0}]})",
+            "timing");
+}
+
+TEST(BenchDiffHost, AdvisoryModeNeverFails)
+{
+    BenchReport baseline = smallReport();
+    BenchReport fresh = baseline;
+    baseline.host = fakeHostSection();
+    // Fresh host time 10x the baseline: advisory mode reports it but
+    // stays OK; only --host-gate turns it into a failure.
+    fresh.host = fakeHostSection();
+    for (HostCellTiming &cell : fresh.host->cells)
+        cell.medianNs *= 10.0;
+
+    std::vector<std::string> advisory;
+    const BenchDiffResult diff =
+        diffHostSections(baseline, fresh, 0.0, &advisory);
+    EXPECT_TRUE(diff.ok());
+    EXPECT_FALSE(advisory.empty());
+}
+
+TEST(BenchDiffHost, GateFailsOnRegressionAndPassesWithin)
+{
+    BenchReport baseline = smallReport();
+    baseline.host = fakeHostSection();
+    BenchReport fresh = baseline;
+
+    // Identical host sections pass any gate.
+    EXPECT_TRUE(diffHostSections(baseline, fresh, 1.5).ok());
+
+    // 2x slower medians fail a 1.5x gate but pass a 3x gate.
+    for (HostCellTiming &cell : fresh.host->cells)
+        cell.medianNs *= 2.0;
+    const BenchDiffResult tight =
+        diffHostSections(baseline, fresh, 1.5);
+    EXPECT_FALSE(tight.ok());
+    EXPECT_FALSE(tight.failures.empty());
+    EXPECT_TRUE(diffHostSections(baseline, fresh, 3.0).ok());
+
+    // A gated run with no fresh host section is a failure, not a
+    // silent pass.
+    fresh.host.reset();
+    EXPECT_FALSE(diffHostSections(baseline, fresh, 1.5).ok());
+}
+
 } // namespace
 } // namespace triarch::study

@@ -32,6 +32,7 @@
 #include "serve/protocol.hh"
 #include "serve/server.hh"
 #include "serve/service.hh"
+#include "sim/host_clock.hh"
 #include "study/result_cache.hh"
 #include "study/study_json.hh"
 
@@ -733,6 +734,179 @@ TEST(SocketServer, GarbageLineGetsABadRequestNotAHangup)
     EXPECT_EQ(response.error->code, JobErrorCode::BadRequest);
 
     server.stop();
+}
+
+// --- the stats endpoint --------------------------------------------
+
+TEST(ServeProtocol, StatsRequestRoundTripsWithoutConfigOrCells)
+{
+    JobRequest probe;
+    probe.id = "statsz";
+    probe.kind = serve::RequestKind::Stats;
+
+    const std::string line = serve::writeJobRequest(probe);
+    EXPECT_NE(line.find("\"type\": \"stats\""), std::string::npos)
+        << line;
+    EXPECT_EQ(line.find("cells"), std::string::npos)
+        << "stats probes carry no work: " << line;
+    EXPECT_EQ(line.find("config"), std::string::npos) << line;
+
+    JobRequest parsed;
+    std::string error;
+    ASSERT_TRUE(serve::parseJobRequest(line, &parsed, &error)) << error;
+    EXPECT_EQ(parsed, probe);
+
+    // Run requests never carry a type field, so their bytes are
+    // unchanged from before the stats endpoint existed.
+    const std::string runLine = serve::writeJobRequest(
+        tinyRequest({{MachineId::PpcScalar, KernelId::CornerTurn}}));
+    EXPECT_EQ(runLine.find("\"type\""), std::string::npos) << runLine;
+
+    // An unknown type is a typed rejection, not a silent Run.
+    JobRequest bogus;
+    EXPECT_FALSE(serve::parseJobRequest(
+        R"({"schema": "triarch.job.v1", "id": "x", "type": "selfdestruct"})",
+        &bogus, &error));
+    EXPECT_NE(error.find("selfdestruct"), std::string::npos) << error;
+}
+
+TEST(ServeProtocol, StatsResponseRoundTripsTheSnapshotVerbatim)
+{
+    JobResponse response;
+    response.id = "statsz";
+    response.configHash = "abc";
+    response.statsJson =
+        R"({"schema": "triarch.stats.v1", "groups": )"
+        R"([{"label": "serve", "scalars": {"jobs_accepted": 3}}]})";
+
+    const std::string line = serve::writeJobResponse(response);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_EQ(line.find("results"), std::string::npos)
+        << "a stats response replaces the results array: " << line;
+
+    JobResponse parsed;
+    std::string error;
+    ASSERT_TRUE(serve::parseJobResponse(line, &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed, response)
+        << "the embedded snapshot must survive bit-for-bit";
+
+    // A stats field that is not an object is rejected.
+    EXPECT_FALSE(serve::parseJobResponse(
+        R"({"schema": "triarch.result.v1", "id": "x",
+            "config_hash": "1", "status": "ok", "stats": 7})",
+        &parsed, &error));
+    EXPECT_NE(error.find("stats"), std::string::npos) << error;
+}
+
+TEST(ExperimentService, StatsSnapshotIsLiveAndRefusedWhileDraining)
+{
+    std::atomic<std::uint64_t> executions{0};
+    const auto registry = fakeRegistry(&executions);
+    study::ResultCache cache;
+    serve::ExperimentService service({}, &registry, &cache);
+
+    JobRequest probe;
+    probe.id = "statsz";
+    probe.kind = serve::RequestKind::Stats;
+
+    const JobResponse before = service.stats(probe);
+    ASSERT_TRUE(before.ok());
+    EXPECT_EQ(before.id, "statsz");
+    EXPECT_NE(before.statsJson.find("triarch.stats.v1"),
+              std::string::npos);
+    EXPECT_NE(before.statsJson.find("\"jobs_accepted\": 0"),
+              std::string::npos)
+        << before.statsJson;
+
+    ASSERT_TRUE(
+        service
+            .submit(tinyRequest(
+                {{MachineId::PpcScalar, KernelId::CornerTurn}}))
+            .ok());
+    const JobResponse after = service.stats(probe);
+    ASSERT_TRUE(after.ok());
+    EXPECT_NE(after.statsJson.find("\"jobs_accepted\": 1"),
+              std::string::npos)
+        << "the snapshot must be live, not captured at startup";
+    EXPECT_NE(after.statsJson.find("uptime_seconds"),
+              std::string::npos);
+
+    service.beginDrain();
+    const JobResponse refused = service.stats(probe);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.error->code, JobErrorCode::Draining);
+    EXPECT_TRUE(refused.statsJson.empty());
+}
+
+TEST(SocketServer, StatsRequestRoundTripsOverUnixAndTcp)
+{
+    std::atomic<std::uint64_t> executions{0};
+    const auto registry = fakeRegistry(&executions);
+    study::ResultCache cache;
+    serve::ExperimentService service({}, &registry, &cache);
+
+    // With host profiling on, a served job must surface latency
+    // histograms in the wire snapshot — the daemon's default mode.
+    host::setProfiling(true);
+
+    serve::ServerOptions serverOpts;
+    serverOpts.unixPath = testing::TempDir() + "/triarchd_stats_"
+                          + std::to_string(::getpid()) + ".sock";
+    serve::SocketServer server(service, serverOpts);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    auto unixClient =
+        serve::Client::connectUnix(serverOpts.unixPath, &error);
+    ASSERT_TRUE(unixClient.connected()) << error;
+    ASSERT_TRUE(unixClient
+                    .call(tinyRequest({{MachineId::PpcScalar,
+                                        KernelId::CornerTurn}}),
+                          &error)
+                    .has_value())
+        << error;
+
+    JobRequest probe;
+    probe.id = "statsz";
+    probe.kind = serve::RequestKind::Stats;
+    const auto overUnix = unixClient.call(probe, &error);
+    ASSERT_TRUE(overUnix.has_value()) << error;
+    ASSERT_TRUE(overUnix->ok()) << overUnix->error->message;
+    EXPECT_NE(overUnix->statsJson.find("\"jobs_accepted\": 1"),
+              std::string::npos)
+        << overUnix->statsJson;
+    EXPECT_NE(overUnix->statsJson.find("cell_service_ns"),
+              std::string::npos)
+        << "profiling was on, so the latency histograms must show: "
+        << overUnix->statsJson;
+    host::setProfiling(false);
+
+    // The same probe over TCP loopback sees the same counters.
+    serve::SocketServer tcpServer(service, serve::ServerOptions{});
+    ASSERT_TRUE(tcpServer.start(&error)) << error;
+    auto tcpClient =
+        serve::Client::connectTcp(tcpServer.port(), &error);
+    ASSERT_TRUE(tcpClient.connected()) << error;
+    const auto overTcp = tcpClient.call(probe, &error);
+    ASSERT_TRUE(overTcp.has_value()) << error;
+    ASSERT_TRUE(overTcp->ok()) << overTcp->error->message;
+    EXPECT_NE(overTcp->statsJson.find("\"jobs_accepted\": 1"),
+              std::string::npos);
+
+    // A draining daemon refuses the probe with a typed error over
+    // the wire, exactly like a job submission.
+    service.beginDrain();
+    const auto refused = tcpClient.call(probe, &error);
+    ASSERT_TRUE(refused.has_value()) << error;
+    ASSERT_FALSE(refused->ok());
+    EXPECT_EQ(refused->error->code, JobErrorCode::Draining);
+
+    tcpClient.close();
+    unixClient.close();
+    tcpServer.stop();
+    server.stop();
+    service.drain();
 }
 
 } // namespace
