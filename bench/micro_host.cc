@@ -16,10 +16,13 @@
  * flag, like every other gate-style tool here).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <limits>
+#include <sstream>
 
+#include "raw/config.hh"
 #include "sim/host_clock.hh"
 #include "study/bench_report.hh"
 #include "study/cli_options.hh"
@@ -38,6 +41,7 @@ main(int argc, char **argv)
     unsigned reps = 5;
     int pin = -1;
     bool json = false;
+    std::string machines;
 
     CliOptions cli("Measure the host wall-clock cost of simulating "
                    "each Table-3 cell");
@@ -74,6 +78,30 @@ main(int argc, char **argv)
                    json = true;
                    return 0;
                });
+    cli.value("--machines", "LIST",
+              "comma-separated machine tokens to measure (default "
+              "all); e.g. --machines raw for the Raw host-time gate",
+              [&](const std::string &v) {
+                  machines = v;
+                  return 0;
+              });
+    cli.value("--raw-stepper", "MODE",
+              "Raw interpreter loop: event (default) or reference "
+              "(the cycle-at-a-time differential baseline)",
+              [&](const std::string &v) {
+                  if (v == "event") {
+                      raw::setDefaultRawStepper(raw::RawStepper::Event);
+                  } else if (v == "reference") {
+                      raw::setDefaultRawStepper(
+                          raw::RawStepper::Reference);
+                  } else {
+                      std::fprintf(stderr,
+                                   "--raw-stepper wants event or "
+                                   "reference, got '%s'\n", v.c_str());
+                      return 2;
+                  }
+                  return 0;
+              });
     cli.logLevelFlag();
     if (const auto rc = cli.parse(argc, argv))
         return *rc;
@@ -85,7 +113,30 @@ main(int argc, char **argv)
     mo.warmup = warmup;
     mo.repetitions = reps;
     mo.pinCpu = pin;
-    const std::vector<Cell> cells = allCells();
+
+    std::vector<Cell> cells = allCells();
+    if (!machines.empty()) {
+        std::vector<MachineId> keep;
+        std::istringstream tokens(machines);
+        std::string token;
+        while (std::getline(tokens, token, ',')) {
+            const auto id = parseMachineToken(token);
+            if (!id) {
+                std::fprintf(stderr, "unknown machine token '%s'\n",
+                             token.c_str());
+                return 2;
+            }
+            keep.push_back(*id);
+        }
+        std::erase_if(cells, [&](const Cell &cell) {
+            return std::find(keep.begin(), keep.end(), cell.machine)
+                   == keep.end();
+        });
+        if (cells.empty()) {
+            std::fprintf(stderr, "--machines matched no cells\n");
+            return 2;
+        }
+    }
     const HostSection host = measureHostSection(cfg, cells, mo);
 
     if (json) {
@@ -93,7 +144,7 @@ main(int argc, char **argv)
         // document (cache-backed; the host section above measured
         // uncached mapping executions).
         ParallelRunner runner(cfg, 1);
-        BenchReport report = buildBenchReport(cfg, runner.runAll());
+        BenchReport report = buildBenchReport(cfg, runner.runCells(cells));
         report.host = host;
         writeBenchReportJson(report, std::cout);
         return 0;

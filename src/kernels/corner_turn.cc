@@ -52,10 +52,21 @@ isTransposeOf(const WordMatrix &src, const WordMatrix &dst)
 {
     if (dst.rows != src.cols || dst.cols != src.rows)
         return false;
-    for (unsigned r = 0; r < src.rows; ++r) {
-        for (unsigned c = 0; c < src.cols; ++c) {
-            if (dst.at(c, r) != src.at(r, c))
-                return false;
+    // Tiled comparison: a row-major sweep of one matrix strides the
+    // other by a full row per element, which misses cache on every
+    // access for the study's 1024x1024 matrices. Comparing block by
+    // block keeps both sides' lines resident.
+    constexpr unsigned blk = 64;
+    for (unsigned rb = 0; rb < src.rows; rb += blk) {
+        const unsigned rEnd = std::min(src.rows, rb + blk);
+        for (unsigned cb = 0; cb < src.cols; cb += blk) {
+            const unsigned cEnd = std::min(src.cols, cb + blk);
+            for (unsigned r = rb; r < rEnd; ++r) {
+                for (unsigned c = cb; c < cEnd; ++c) {
+                    if (dst.at(c, r) != src.at(r, c))
+                        return false;
+                }
+            }
         }
     }
     return true;

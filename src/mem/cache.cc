@@ -15,6 +15,8 @@ SetAssocCache::SetAssocCache(const CacheConfig &cache_config)
                    "size must divide into sets");
     numSets = cfg.sizeBytes / (cfg.lineBytes * cfg.assoc);
     triarch_assert(isPowerOf2(numSets), "set count must be 2^n");
+    lineShift = floorLog2(cfg.lineBytes);
+    setShift = floorLog2(numSets);
     lines.resize(numSets * cfg.assoc);
 
     group.addScalar("hits", &_hits, "cache hits");
@@ -25,13 +27,13 @@ SetAssocCache::SetAssocCache(const CacheConfig &cache_config)
 std::uint64_t
 SetAssocCache::setOf(Addr addr) const
 {
-    return (addr / cfg.lineBytes) & (numSets - 1);
+    return (addr >> lineShift) & (numSets - 1);
 }
 
 Addr
 SetAssocCache::tagOf(Addr addr) const
 {
-    return addr / cfg.lineBytes / numSets;
+    return addr >> (lineShift + setShift);
 }
 
 CacheResult

@@ -86,6 +86,11 @@ class SetAssocCache
 
     CacheConfig cfg;
     std::uint64_t numSets;
+    /** Geometry is power-of-two (asserted in the constructor), so
+     *  set/tag extraction is shift-and-mask — this sits on every
+     *  simulated load/store, where 64-bit division is measurable. */
+    unsigned lineShift = 0;
+    unsigned setShift = 0;
     std::vector<Line> lines;    //!< numSets x assoc, row-major
     std::uint64_t useClock = 0;
 

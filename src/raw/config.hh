@@ -20,6 +20,9 @@
 #ifndef TRIARCH_RAW_CONFIG_HH
 #define TRIARCH_RAW_CONFIG_HH
 
+#include <atomic>
+#include <cstdint>
+
 #include "sim/types.hh"
 
 namespace triarch::raw
@@ -27,6 +30,44 @@ namespace triarch::raw
 
 /** Byte addresses at or above this go to global DRAM (cached). */
 constexpr Addr globalBase = 0x10000000;
+
+/**
+ * Which interpreter loop RawMachine::run() uses. Both produce
+ * bit-identical cycle counts, statistics documents, and cycle-account
+ * tallies (pinned by the differential test in test_raw_event.cc);
+ * Event skips `now` over spans where every tile sleeps until a known
+ * wake cycle and credits the skipped tallies in bulk, Reference spins
+ * one cycle at a time like the original interpreter.
+ */
+enum class RawStepper : std::uint8_t
+{
+    Default,    //!< follow the process-wide defaultRawStepper()
+    Event,      //!< event-driven: jump to the minimum pending wake
+    Reference,  //!< cycle-at-a-time reference loop
+};
+
+namespace detail
+{
+inline std::atomic<RawStepper> rawStepperDefault{RawStepper::Event};
+} // namespace detail
+
+/** The stepper a default-constructed RawConfig resolves to. */
+inline RawStepper
+defaultRawStepper()
+{
+    return detail::rawStepperDefault.load(std::memory_order_relaxed);
+}
+
+/**
+ * Override the process-wide default stepper (differential tests and
+ * micro_host --raw-stepper; mappings build machines with a default
+ * RawConfig, so this is the hook that reaches them).
+ */
+inline void
+setDefaultRawStepper(RawStepper s)
+{
+    detail::rawStepperDefault.store(s, std::memory_order_relaxed);
+}
 
 /** All Raw model parameters; defaults mirror the MIT prototype. */
 struct RawConfig
@@ -68,6 +109,9 @@ struct RawConfig
 
     /** Hard cap on simulated cycles (deadlock guard). */
     Cycles maxCycles = 200'000'000;
+
+    /** Interpreter loop selection (Default = process-wide setting). */
+    RawStepper stepper = RawStepper::Default;
 };
 
 } // namespace triarch::raw

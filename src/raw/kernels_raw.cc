@@ -132,9 +132,7 @@ cornerTurnRaw(RawMachine &machine, const kernels::WordMatrix &src,
 
     trace::TraceScope readback("raw.ct.readback", "raw");
     dst = kernels::WordMatrix(n, n);
-    auto words = machine.peekGlobal(dstBase,
-                                    static_cast<std::size_t>(n) * n);
-    std::copy(words.begin(), words.end(), dst.data.begin());
+    machine.peekGlobalInto(dstBase, dst.data);
     return cycles;
 }
 

@@ -1,5 +1,6 @@
 #include "machine.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 
@@ -10,18 +11,26 @@ namespace triarch::raw
 {
 
 RawMachine::RawMachine(const RawConfig &machine_config)
-    : cfg(machine_config), tileState(cfg.tiles()), ports(cfg.tiles()),
-      global(cfg.globalBytes, 0), group("raw")
+    : cfg(machine_config), hot(cfg.tiles()), cold(cfg.tiles()),
+      wake(cfg.tiles(), kNever), ports(cfg.tiles()),
+      global(cfg.globalBytes), group("raw")
 {
+    if (isPowerOf2(cfg.portRowBytes))
+        portRowShift = static_cast<int>(floorLog2(cfg.portRowBytes));
     for (unsigned t = 0; t < cfg.tiles(); ++t) {
-        tileState[t].sram.assign(cfg.sramBytes, 0);
+        cold[t].sram.assign(cfg.sramBytes, 0);
         mem::CacheConfig cc;
         cc.name = "raw.tile" + std::to_string(t) + ".dcache";
         cc.sizeBytes = cfg.cacheBytes;
         cc.assoc = cfg.cacheAssoc;
         cc.lineBytes = cfg.cacheLineBytes;
-        tileState[t].cache = std::make_unique<mem::SetAssocCache>(cc);
-        tileState[t].halted = true;     // no program yet
+        cold[t].cache = std::make_unique<mem::SetAssocCache>(cc);
+        hot[t].sram = cold[t].sram.data();
+        hot[t].cache = cold[t].cache.get();
+        hot[t].halted = true;       // no program yet
+        // The input FIFO is capacity-limited, so reserving it here
+        // makes every later push allocation-free.
+        hot[t].inFifo.reserve(cfg.fifoCapacity);
     }
     group.addScalar("instructions", &_instrs, "instructions retired");
     group.addScalar("net_stalls", &_netStalls,
@@ -46,8 +55,12 @@ RawMachine::RawMachine(const RawConfig &machine_config)
 Addr
 RawMachine::allocGlobal(std::uint64_t bytes, const std::string &what)
 {
-    const Addr addr = roundUp(allocNext, 64);
-    if (addr + bytes > global.size()) {
+    Addr addr = 0;
+    // Checked arithmetic throughout: a huge `bytes` (or an allocNext
+    // near the top of the address space) must exhaust, not wrap the
+    // bound check and hand out overlapping memory.
+    if (!roundUpChecked(allocNext, 64, addr) || bytes > global.size()
+        || addr > global.size() - bytes) {
         triarch_fatal("Raw global DRAM exhausted allocating ", bytes,
                       " bytes for ", what);
     }
@@ -68,22 +81,37 @@ RawMachine::pokeGlobal(Addr addr, std::span<const Word> words)
 std::vector<Word>
 RawMachine::peekGlobal(Addr addr, std::size_t count) const
 {
+    std::vector<Word> out(count);
+    peekGlobalInto(addr, out);
+    return out;
+}
+
+void
+RawMachine::peekGlobalInto(Addr addr, std::span<Word> out) const
+{
     triarch_assert(addr >= globalBase, "peek below global base");
     const Addr off = addr - globalBase;
-    triarch_assert(off + count * 4 <= global.size(),
+    triarch_assert(off + out.size() * 4 <= global.size(),
                    "peek outside global DRAM");
-    std::vector<Word> out(count);
-    std::memcpy(out.data(), global.data() + off, count * 4);
-    return out;
+    std::memcpy(out.data(), global.data() + off, out.size() * 4);
 }
 
 void
 RawMachine::setProgram(unsigned tile, std::vector<Instr> program)
 {
     triarch_assert(tile < cfg.tiles(), "tile out of range");
-    tileState[tile].program = std::move(program);
-    tileState[tile].pc = 0;
-    tileState[tile].halted = tileState[tile].program.empty();
+    TileCold &c = cold[tile];
+    TileHot &h = hot[tile];
+    const bool wasHalted = h.halted;
+    c.program = std::move(program);
+    h.prog = c.program.data();
+    h.progLen = static_cast<std::uint32_t>(c.program.size());
+    h.pc = 0;
+    h.halted = c.program.empty();
+    if (wasHalted && !h.halted)
+        ++liveTiles;
+    else if (!wasHalted && h.halted)
+        --liveTiles;
 }
 
 void
@@ -93,7 +121,7 @@ RawMachine::pokeLocal(unsigned tile, Addr byte_offset,
     triarch_assert(tile < cfg.tiles(), "tile out of range");
     triarch_assert(byte_offset + words.size() * 4 <= cfg.sramBytes,
                    "poke outside tile SRAM");
-    std::memcpy(tileState[tile].sram.data() + byte_offset, words.data(),
+    std::memcpy(cold[tile].sram.data() + byte_offset, words.data(),
                 words.size() * 4);
 }
 
@@ -105,7 +133,7 @@ RawMachine::peekLocal(unsigned tile, Addr byte_offset,
     triarch_assert(byte_offset + count * 4 <= cfg.sramBytes,
                    "peek outside tile SRAM");
     std::vector<Word> out(count);
-    std::memcpy(out.data(), tileState[tile].sram.data() + byte_offset,
+    std::memcpy(out.data(), cold[tile].sram.data() + byte_offset,
                 count * 4);
     return out;
 }
@@ -118,7 +146,7 @@ RawMachine::setRoute(unsigned tile, unsigned endpoint)
                        || (endpoint >= 1000
                            && endpoint < 1000 + cfg.tiles()),
                    "bad route endpoint");
-    tileState[tile].route = endpoint;
+    hot[tile].route = endpoint;
 }
 
 void
@@ -134,8 +162,9 @@ RawMachine::dmaIn(unsigned port, unsigned dstTile, Addr base,
     // loop spins forever waiting for the queue to drain.
     if (words == 0)
         return;
-    tileState[dstTile].dmaFed = true;
+    hot[dstTile].dmaFed = true;
     ports[port].inQueue.push_back({base - globalBase, words, dstTile});
+    ++portWork;
 }
 
 void
@@ -146,6 +175,7 @@ RawMachine::dmaOut(unsigned port, Addr base, unsigned words)
     if (words == 0)
         return;
     ports[port].outQueue.push_back({base - globalBase, words, 0});
+    ++portWork;
 }
 
 unsigned
@@ -157,19 +187,33 @@ RawMachine::hops(unsigned a, unsigned b) const
 }
 
 void
+RawMachine::noteFifoPush(unsigned t)
+{
+    // If the tile went to sleep on $csti with too few queued words
+    // to know its wake cycle, this push may be the one it awaits.
+    TileHot &h = hot[t];
+    if (h.waitPops != 0 && h.inFifo.size() >= h.waitPops) {
+        wake[t] = h.inFifo[h.waitPops - 1].first;
+        h.waitPops = 0;
+    }
+}
+
+void
 RawMachine::send(unsigned t, Word value, Cycles now)
 {
-    const unsigned route = tileState[t].route;
+    const unsigned route = hot[t].route;
     triarch_assert(route != ~0u, "tile ", t,
                    " writes $csto without a configured route");
     if (route >= 1000) {
         // Peripheral port: one hop from the attached tile.
         ports[route - 1000].arrivals.emplace_back(
             now + cfg.netBaseLatency + 1, value);
+        ++portWork;
     } else {
         const Cycles arrival =
             now + cfg.netBaseLatency + std::max(1u, hops(t, route));
-        tileState[route].inFifo.emplace_back(arrival, value);
+        hot[route].inFifo.emplace_back(arrival, value);
+        noteFifoPush(route);
     }
 }
 
@@ -199,49 +243,47 @@ RawMachine::tallyStall(TileStall kind)
 void
 RawMachine::stepTile(unsigned t, Cycles now)
 {
-    Tile &tile = tileState[t];
+    TileHot &tile = hot[t];
     if (tile.halted) {
         ++tcIdle;
+        wake[t] = kNever;
         return;
     }
     if (tile.stallUntil > now) {
         tallyStall(tile.stallKind);
+        // The scalar has to agree with the tallies: re-stall cycles
+        // of a network-kind stall (Dsend injection occupancy) are
+        // network stall cycles too.
+        if (tile.stallKind == TileStall::Net
+            || tile.stallKind == TileStall::Dma) {
+            ++_netStalls;
+        }
+        wake[t] = tile.stallUntil;
         return;
     }
-    triarch_assert(tile.pc < tile.program.size(),
+    triarch_assert(tile.pc < tile.progLen,
                    "tile ", t, " ran off its program");
-    const Instr &in = tile.program[tile.pc];
+    const Instr &in = tile.prog[tile.pc];
+    const OpInfo info = opInfo(in.op);
 
-    // Gather source registers for this opcode.
-    unsigned srcs[2];
-    unsigned nsrc = 0;
-    switch (in.op) {
-      case Op::Add: case Op::Sub: case Op::Mul:
-      case Op::And: case Op::Or: case Op::Xor:
-      case Op::FAdd: case Op::FSub: case Op::FMul:
-      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
-        srcs[nsrc++] = in.rs;
-        srcs[nsrc++] = in.rt;
-        break;
-      case Op::Addi: case Op::Sll: case Op::Sra: case Op::Srl:
-      case Op::Lw:
-        srcs[nsrc++] = in.rs;
-        break;
-      case Op::Sw:
-      case Op::Dsend:
-        srcs[nsrc++] = in.rs;
-        srcs[nsrc++] = in.rt;
-        break;
-      default:
-        break;
-    }
-
-    // Network-input availability: each $csti source pops one word.
+    // Source operands: each $csti source pops one network word; the
+    // others are scoreboarded register reads.
     unsigned pops = 0;
-    for (unsigned i = 0; i < nsrc; ++i) {
-        if (srcs[i] == regCsti)
+    Cycles rdy = 0;
+    if (info.readsRs) {
+        if (in.rs == regCsti)
             ++pops;
+        else if (in.rs != 0)
+            rdy = std::max(rdy, tile.ready[in.rs]);
     }
+    if (info.readsRt) {
+        if (in.rt == regCsti)
+            ++pops;
+        else if (in.rt != 0)
+            rdy = std::max(rdy, tile.ready[in.rt]);
+    }
+
+    // Network-input availability.
     if (pops > 0) {
         if (tile.inFifo.size() < pops
             || tile.inFifo[pops - 1].first > now) {
@@ -250,6 +292,12 @@ RawMachine::stepTile(unsigned t, Cycles now)
                 tile.dmaFed ? TileStall::Dma : TileStall::Net;
             tallyStall(tile.stallKind);
             tile.stallUntil = now + 1;
+            if (tile.inFifo.size() >= pops) {
+                wake[t] = tile.inFifo[pops - 1].first;
+            } else {
+                tile.waitPops = static_cast<std::uint8_t>(pops);
+                wake[t] = kNever;
+            }
             return;
         }
     }
@@ -261,36 +309,36 @@ RawMachine::stepTile(unsigned t, Cycles now)
             tile.stallKind = TileStall::Net;
             tallyStall(tile.stallKind);
             tile.stallUntil = now + 1;
+            if (!tile.dynFifo.empty()) {
+                wake[t] = tile.dynFifo.front().first;
+            } else {
+                tile.waitDyn = true;
+                wake[t] = kNever;
+            }
             return;
         }
     }
 
     // Operand readiness (scoreboarded latencies).
-    Cycles rdy = 0;
-    for (unsigned i = 0; i < nsrc; ++i) {
-        if (srcs[i] != regCsti && srcs[i] != 0)
-            rdy = std::max(rdy, tile.ready[srcs[i]]);
-    }
     if (rdy > now) {
         ++_depStalls;
         tile.stallKind = TileStall::Dep;
         tallyStall(tile.stallKind);
         tile.stallUntil = rdy;
+        wake[t] = rdy;
         return;
     }
 
     // If this instruction sends to a tile whose FIFO is full, block.
-    const bool sendsNet =
-        (in.op != Op::Sw && in.op != Op::Beq && in.op != Op::Bne
-         && in.op != Op::Blt && in.op != Op::Bge && in.op != Op::Jump
-         && in.op != Op::Halt && in.op != Op::Nop)
-        && in.rd == regCsto;
-    if (sendsNet && tile.route < 1000
-        && tileState[tile.route].inFifo.size() >= cfg.fifoCapacity) {
+    // No wake cycle is knowable (the consumer frees a slot whenever
+    // it happens to pop), so re-poll every cycle like the reference.
+    if (info.sendEligible && in.rd == regCsto && tile.route < 1000
+        && hot[tile.route].inFifo.size() >= cfg.fifoCapacity) {
         ++_netStalls;
         tile.stallKind = TileStall::Net;
         tallyStall(tile.stallKind);
         tile.stallUntil = now + 1;
+        wake[t] = now + 1;
         return;
     }
 
@@ -399,7 +447,7 @@ RawMachine::stepTile(unsigned t, Cycles now)
         } else {
             triarch_assert(addr + 4 <= cfg.sramBytes,
                            "tile ", t, " lw outside SRAM @", addr);
-            std::memcpy(&value, tile.sram.data() + addr, 4);
+            std::memcpy(&value, tile.sram + addr, 4);
         }
         writeReg(in.rd, value, extra + cfg.loadLatency);
         if (extra > 0) {
@@ -430,7 +478,7 @@ RawMachine::stepTile(unsigned t, Cycles now)
         } else {
             triarch_assert(addr + 4 <= cfg.sramBytes,
                            "tile ", t, " sw outside SRAM @", addr);
-            std::memcpy(tile.sram.data() + addr, &value, 4);
+            std::memcpy(tile.sram + addr, &value, 4);
         }
         ++_ldst;
         break;
@@ -440,9 +488,13 @@ RawMachine::stepTile(unsigned t, Cycles now)
         const Word value = readReg(in.rt);
         triarch_assert(dest < cfg.tiles(),
                        "tile ", t, " dsend to bad tile ", dest);
-        tileState[dest].dynFifo.emplace_back(
-            now + cfg.dynBaseLatency + std::max(1u, hops(t, dest)),
-            value);
+        const Cycles arrival =
+            now + cfg.dynBaseLatency + std::max(1u, hops(t, dest));
+        hot[dest].dynFifo.emplace_back(arrival, value);
+        if (hot[dest].waitDyn) {
+            hot[dest].waitDyn = false;
+            wake[dest] = arrival;
+        }
         // The packet (header + data) occupies the injection port.
         tile.stallKind = TileStall::Net;
         tile.stallUntil = now + cfg.dynSendOccupancy;
@@ -471,7 +523,8 @@ RawMachine::stepTile(unsigned t, Cycles now)
         break;
       case Op::Halt:
         tile.halted = true;
-        tile.haltCycle = now;
+        cold[t].haltCycle = now;
+        --liveTiles;
         break;
     }
 
@@ -481,41 +534,257 @@ RawMachine::stepTile(unsigned t, Cycles now)
         ++tile.pc;
 
     ++tile.instrs;
-    ++_instrs;
-    ++tcBusy;
 
-    if (logLevel() >= LogLevel::Debug) {
+    if (debugTrace) [[unlikely]] {
         debugLog("raw tile ", t, " @", now, ": ",
                  disassemble(in));
     }
+
+    // A retire with no pending stall window can keep going: as long
+    // as the following instructions touch only tile-private state,
+    // nothing else in the machine can observe the difference, so the
+    // whole run executes in one call (event stepper only). The first
+    // instruction's break test runs inline so streaming code (whose
+    // every instruction touches the network) skips the call.
+    if (batching && !tile.halted && tile.stallUntil <= now + 1
+        && tile.pc < tile.progLen) {
+        const Instr &nx = tile.prog[tile.pc];
+        const OpInfo ni = opInfo(nx.op);
+        if (nx.op != Op::Dsend && nx.op != Op::Drecv
+            && !(ni.readsRs && nx.rs == regCsti)
+            && !(ni.readsRt && nx.rt == regCsti)
+            && !(ni.sendEligible && nx.rd == regCsto)) {
+            batchTile(t, now + 1);
+            return;
+        }
+    }
+
+    // Next wake: immediately unless the retire scheduled a stall
+    // window (cache-miss service, Dsend injection occupancy).
+    wake[t] = tile.halted ? kNever : std::max(now + 1, tile.stallUntil);
+}
+
+/**
+ * Execute a run of tile-local instructions — register/SRAM compute,
+ * branches, halt — in one call, advancing a private cycle cursor.
+ *
+ * Soundness: while a tile executes only local operations, no other
+ * actor reads its private state (FIFO pushes append without looking
+ * at registers or SRAM), and the tile reads nothing another actor
+ * writes. The batch therefore commutes with the rest of the cycle
+ * interleaving and every counter lands on exactly the value the
+ * cycle-at-a-time reference accrues: busy cycles are the retired
+ * instruction count, operand-latency gaps add to tcDep in bulk with
+ * one dep_stalls event each, exactly like the reference's stall
+ * entry plus its per-cycle stallUntil re-polls.
+ *
+ * The batch breaks BEFORE any externally-visible instruction:
+ * $csti/$csto traffic, dynamic network ops, and loads/stores that
+ * reach global DRAM (other tiles and DMA ports share it, and the
+ * cache model bills those accesses); the instruction re-runs through
+ * the normal stepTile path at the cursor cycle.
+ */
+void
+RawMachine::batchTile(unsigned t, Cycles cur)
+{
+    TileHot &tile = hot[t];
+    const Cycles limit = cfg.maxCycles;
+    while (cur <= limit) {
+        triarch_assert(tile.pc < tile.progLen,
+                       "tile ", t, " ran off its program");
+        const Instr &in = tile.prog[tile.pc];
+        const OpInfo info = opInfo(in.op);
+        if (in.op == Op::Dsend || in.op == Op::Drecv)
+            break;
+        if ((info.readsRs && in.rs == regCsti)
+            || (info.readsRt && in.rt == regCsti))
+            break;
+        if (info.sendEligible && in.rd == regCsto)
+            break;
+
+        Cycles rdy = 0;
+        if (info.readsRs && in.rs != 0)
+            rdy = std::max(rdy, tile.ready[in.rs]);
+        if (info.readsRt && in.rt != 0)
+            rdy = std::max(rdy, tile.ready[in.rt]);
+        if (rdy > cur) {
+            tcDep += rdy - cur;
+            ++_depStalls;
+            cur = rdy;
+        }
+
+        const auto rs = [&]() -> std::uint32_t {
+            return in.rs == 0 ? 0 : tile.regs[in.rs];
+        };
+        const auto rt = [&]() -> std::uint32_t {
+            return in.rt == 0 ? 0 : tile.regs[in.rt];
+        };
+        const auto wr = [&](std::uint32_t v, Cycles lat) {
+            if (in.rd != 0) {
+                tile.regs[in.rd] = v;
+                tile.ready[in.rd] = cur + lat;
+            }
+        };
+
+        bool branched = false;
+        switch (in.op) {
+          case Op::Nop:
+            break;
+          case Op::Add:
+            wr(rs() + rt(), cfg.intLatency);
+            break;
+          case Op::Addi:
+            wr(rs() + static_cast<std::uint32_t>(in.imm),
+               cfg.intLatency);
+            break;
+          case Op::Sub:
+            wr(rs() - rt(), cfg.intLatency);
+            break;
+          case Op::Mul:
+            wr(rs() * rt(), cfg.mulLatency);
+            break;
+          case Op::Sll:
+            wr(rs() << (in.imm & 31), cfg.intLatency);
+            break;
+          case Op::Sra:
+            wr(static_cast<std::uint32_t>(
+                   static_cast<std::int32_t>(rs()) >> (in.imm & 31)),
+               cfg.intLatency);
+            break;
+          case Op::Srl:
+            wr(rs() >> (in.imm & 31), cfg.intLatency);
+            break;
+          case Op::And:
+            wr(rs() & rt(), cfg.intLatency);
+            break;
+          case Op::Or:
+            wr(rs() | rt(), cfg.intLatency);
+            break;
+          case Op::Xor:
+            wr(rs() ^ rt(), cfg.intLatency);
+            break;
+          case Op::Li:
+            wr(static_cast<std::uint32_t>(in.imm), cfg.intLatency);
+            break;
+          case Op::FAdd:
+            wr(floatToWord(wordToFloat(rs()) + wordToFloat(rt())),
+               cfg.fpLatency);
+            ++_fpops;
+            break;
+          case Op::FSub:
+            wr(floatToWord(wordToFloat(rs()) - wordToFloat(rt())),
+               cfg.fpLatency);
+            ++_fpops;
+            break;
+          case Op::FMul:
+            wr(floatToWord(wordToFloat(rs()) * wordToFloat(rt())),
+               cfg.fpLatency);
+            ++_fpops;
+            break;
+          case Op::Lw: {
+            const Addr addr =
+                rs() + static_cast<std::uint32_t>(in.imm);
+            if (addr >= globalBase)
+                goto out;       // cached access: slow path bills it
+            triarch_assert(addr + 4 <= cfg.sramBytes,
+                           "tile ", t, " lw outside SRAM @", addr);
+            Word value = 0;
+            std::memcpy(&value, tile.sram + addr, 4);
+            wr(value, cfg.loadLatency);
+            ++_ldst;
+            break;
+          }
+          case Op::Sw: {
+            const Addr addr =
+                rs() + static_cast<std::uint32_t>(in.imm);
+            if (addr >= globalBase)
+                goto out;
+            triarch_assert(addr + 4 <= cfg.sramBytes,
+                           "tile ", t, " sw outside SRAM @", addr);
+            const Word value = rt();
+            std::memcpy(tile.sram + addr, &value, 4);
+            ++_ldst;
+            break;
+          }
+          case Op::Beq:
+            branched = rs() == rt();
+            break;
+          case Op::Bne:
+            branched = rs() != rt();
+            break;
+          case Op::Blt:
+            branched = static_cast<std::int32_t>(rs())
+                       < static_cast<std::int32_t>(rt());
+            break;
+          case Op::Bge:
+            branched = static_cast<std::int32_t>(rs())
+                       >= static_cast<std::int32_t>(rt());
+            break;
+          case Op::Jump:
+            branched = true;
+            break;
+          case Op::Halt:
+            tile.halted = true;
+            cold[t].haltCycle = cur;
+            --liveTiles;
+            ++tile.instrs;
+            tile.talliedThrough = cur + 1;
+            wake[t] = kNever;
+            if (cur + 1 > batchedHaltEnd)
+                batchedHaltEnd = cur + 1;
+            return;
+          case Op::Dsend:
+          case Op::Drecv:
+            triarch_panic("network op reached the local batch");
+        }
+
+        if (branched)
+            tile.pc = static_cast<unsigned>(in.imm);
+        else
+            ++tile.pc;
+        ++tile.instrs;
+        ++cur;
+    }
+out:
+    // The instruction at `pc` issues at `cur` through the normal
+    // path; every cycle below `cur` is accounted (busy via the
+    // per-tile retire count, waits via tcDep).
+    tile.talliedThrough = cur;
+    wake[t] = cur;
 }
 
 void
 RawMachine::stepPorts(Cycles now)
 {
+    std::uint8_t *const dram = global.data();
     for (auto &port : ports) {
+        if (port.inQueue.empty() && port.outQueue.empty())
+            continue;
         // DMA in: stream one word per cycle into the tile FIFO.
         if (!port.inQueue.empty() && port.inFree <= now) {
             DmaSegment &seg = port.inQueue.front();
-            Tile &dst = tileState[seg.dstTile];
+            TileHot &dst = hot[seg.dstTile];
             if (dst.inFifo.size() < cfg.fifoCapacity) {
                 const Addr a = seg.base + static_cast<Addr>(seg.done)
                                * 4;
                 Word v = 0;
-                std::memcpy(&v, global.data() + a, 4);
+                std::memcpy(&v, dram + a, 4);
                 dst.inFifo.emplace_back(
                     now + cfg.netBaseLatency + 1, v);
+                noteFifoPush(seg.dstTile);
                 ++_wordsDmaIn;
 
                 Cycles cost = 1;
-                const Addr row = a / cfg.portRowBytes;
+                const Addr row = rowOf(a);
                 if (row != port.inLastRow) {
                     cost += cfg.portRowMissPenalty;
                     port.inLastRow = row;
                 }
                 port.inFree = now + cost;
-                if (++seg.done == seg.words)
+                if (++seg.done == seg.words) {
                     port.inQueue.pop_front();
+                    --portWork;
+                }
             }
         }
 
@@ -526,19 +795,22 @@ RawMachine::stepPorts(Cycles now)
             DmaSegment &seg = port.outQueue.front();
             const Word v = port.arrivals.front().second;
             port.arrivals.pop_front();
+            --portWork;
             const Addr a = seg.base + static_cast<Addr>(seg.done) * 4;
-            std::memcpy(global.data() + a, &v, 4);
+            std::memcpy(dram + a, &v, 4);
             ++_wordsDmaOut;
 
             Cycles cost = 1;
-            const Addr row = a / cfg.portRowBytes;
+            const Addr row = rowOf(a);
             if (row != port.outLastRow) {
                 cost += cfg.portRowMissPenalty;
                 port.outLastRow = row;
             }
             port.outFree = now + cost;
-            if (++seg.done == seg.words)
+            if (++seg.done == seg.words) {
                 port.outQueue.pop_front();
+                --portWork;
+            }
         }
     }
 }
@@ -546,7 +818,7 @@ RawMachine::stepPorts(Cycles now)
 bool
 RawMachine::allDone() const
 {
-    for (const auto &tile : tileState) {
+    for (const auto &tile : hot) {
         if (!tile.halted)
             return false;
     }
@@ -559,8 +831,80 @@ RawMachine::allDone() const
     return true;
 }
 
+void
+RawMachine::creditSleep(unsigned t, Cycles now)
+{
+    TileHot &tile = hot[t];
+    if (now <= tile.talliedThrough)
+        return;
+    const std::uint64_t delta = now - tile.talliedThrough;
+    tile.talliedThrough = now;
+    // A sleeping tile's state cannot change, so every skipped cycle
+    // tallies exactly what a cycle-at-a-time loop would have: idle
+    // for halted tiles, otherwise the recorded stall kind. The
+    // event-count scalars (dep_stalls, cache_stall_cycles) were
+    // already bumped when the stall began; net_stalls counts
+    // per-cycle and follows the tally.
+    if (tile.halted) {
+        tcIdle += delta;
+        return;
+    }
+    switch (tile.stallKind) {
+      case TileStall::Dep:
+        tcDep += delta;
+        break;
+      case TileStall::Cache:
+        tcCache += delta;
+        break;
+      case TileStall::Net:
+        tcNet += delta;
+        _netStalls += delta;
+        break;
+      case TileStall::Dma:
+        tcDma += delta;
+        _netStalls += delta;
+        break;
+      case TileStall::None:
+        triarch_panic("Raw tile slept with no recorded stall kind");
+    }
+}
+
 Cycles
-RawMachine::run()
+RawMachine::nextEventCycle(Cycles from) const
+{
+    Cycles next = kNever;
+    for (const Cycles w : wake)
+        next = std::min(next, w);
+    // Candidates below clamp to `from`, so nothing can beat it: the
+    // all-tiles-busy steady state (ct, bs) exits here without ever
+    // touching the port scan.
+    if (next <= from)
+        return from;
+    if (portWork == 0)
+        return next;
+    for (const Port &port : ports) {
+        // A port with queued DMA-in work can act as soon as it is
+        // free, unless the destination FIFO is full — then its next
+        // chance strictly follows a consumer pop, which is itself a
+        // tile-wake event, so no candidate is needed here.
+        if (!port.inQueue.empty()
+            && hot[port.inQueue.front().dstTile].inFifo.size()
+                   < cfg.fifoCapacity) {
+            next = std::min(next, std::max(port.inFree, from));
+        }
+        if (!port.outQueue.empty() && !port.arrivals.empty()) {
+            next = std::min(
+                next, std::max({port.outFree,
+                                port.arrivals.front().first, from}));
+        }
+        if (next <= from)
+            return from;
+    }
+    return next;
+}
+
+Cycles
+RawMachine::runReference()
 {
     Cycles now = 0;
     while (!allDone()) {
@@ -573,19 +917,117 @@ RawMachine::run()
                           " cycles — deadlock or runaway program");
         }
     }
+    return now;
+}
+
+Cycles
+RawMachine::runEvent()
+{
+    // Re-arm the scheduler state (a machine can run more than once):
+    // tallies restart at cycle 0, and a tile left with a pending
+    // stall window re-enters through stepTile's stallUntil branch
+    // exactly like the reference loop re-polling it from cycle 0.
+    for (unsigned t = 0; t < cfg.tiles(); ++t) {
+        hot[t].talliedThrough = 0;
+        hot[t].waitPops = 0;
+        hot[t].waitDyn = false;
+        wake[t] = hot[t].halted ? kNever : 0;
+    }
+    batchedHaltEnd = 0;
+
+    Cycles now = 0;
+    while (liveTiles != 0 || portWork != 0) {
+        if (portWork != 0)
+            stepPorts(now);
+        for (unsigned t = 0; t < cfg.tiles(); ++t) {
+            if (wake[t] <= now) {
+                if (now > hot[t].talliedThrough)
+                    creditSleep(t, now);
+                stepTile(t, now);
+                if (hot[t].talliedThrough < now + 1)
+                    hot[t].talliedThrough = now + 1;
+            }
+        }
+        ++now;
+        if (now > cfg.maxCycles) {
+            triarch_fatal("Raw simulation exceeded ", cfg.maxCycles,
+                          " cycles — deadlock or runaway program");
+        }
+        if (liveTiles == 0 && portWork == 0)
+            break;
+        const Cycles next = nextEventCycle(now);
+        if (next > cfg.maxCycles) {
+            // Nothing can happen before the cap: the reference loop
+            // would spin there tallying sleep, then die the same way.
+            triarch_fatal("Raw simulation exceeded ", cfg.maxCycles,
+                          " cycles — deadlock or runaway program");
+        }
+        now = next;
+    }
+
+    // The loop cursor can exit behind a halt that executed inside a
+    // batch: the reference loop's allDone() only releases the run
+    // once every tile's halt cycle has passed, and its maxCycles
+    // check fires on the way there.
+    if (batchedHaltEnd > now) {
+        now = batchedHaltEnd;
+        if (now > cfg.maxCycles) {
+            triarch_fatal("Raw simulation exceeded ", cfg.maxCycles,
+                          " cycles — deadlock or runaway program");
+        }
+    }
+
+    // Settle the books: cycles [talliedThrough, now) of every tile
+    // were slept through (all remaining tiles are halted), so the
+    // per-tile tally count reaches exactly `now`, the same partition
+    // the reference loop accrues cycle by cycle.
+    for (unsigned t = 0; t < cfg.tiles(); ++t)
+        creditSleep(t, now);
+    return now;
+}
+
+Cycles
+RawMachine::run()
+{
+    debugTrace = logLevel() >= LogLevel::Debug;
+    const RawStepper mode = cfg.stepper == RawStepper::Default
+                                ? defaultRawStepper()
+                                : cfg.stepper;
+    // Batched execution changes the order debug-trace lines
+    // interleave across tiles (never their content), so tracing runs
+    // stay cycle-at-a-time.
+    batching = mode == RawStepper::Event && !debugTrace;
+    const Cycles now = mode == RawStepper::Reference ? runReference()
+                                                     : runEvent();
     _cycles.set(now);
+
+    // The per-instruction retire bookkeeping keeps only the per-tile
+    // counter; the machine-wide scalar and the busy tally are its
+    // exact (cumulative) sum, settled once per run.
+    std::uint64_t retired = 0;
+    for (const TileHot &tile : hot)
+        retired += tile.instrs;
+    _instrs.set(retired);
+    tcBusy = retired;
 
     // Load-balance fingerprint: each tile's instruction count
     // relative to the busiest tile.
     std::uint64_t busiest = 0;
-    for (const Tile &t : tileState)
+    for (const TileHot &t : hot)
         busiest = std::max(busiest, t.instrs);
     if (busiest > 0) {
-        for (const Tile &t : tileState) {
+        for (const TileHot &t : hot) {
             _tileShare.sample(static_cast<double>(t.instrs)
                               / static_cast<double>(busiest));
         }
     }
+
+    // The net_stalls scalar counts per stalled cycle, so it must
+    // track the network tile-cycle tallies exactly.
+    triarch_assert(_netStalls.value() == tcNet + tcDma,
+                   "net_stalls (", _netStalls.value(),
+                   ") out of sync with network tile-cycle tallies (",
+                   tcNet + tcDma, ")");
     return now;
 }
 
@@ -619,16 +1061,21 @@ std::uint64_t
 RawMachine::tileInstructions(unsigned tile) const
 {
     triarch_assert(tile < cfg.tiles(), "tile out of range");
-    return tileState[tile].instrs;
+    return hot[tile].instrs;
 }
 
 std::uint64_t
 RawMachine::tileIdleAfterHalt(unsigned tile) const
 {
     triarch_assert(tile < cfg.tiles(), "tile out of range");
-    if (!tileState[tile].halted || _cycles.value() == 0)
+    // A tile that never got a (non-empty) program never ran, so it
+    // never *halted* — the constructor only parks it. Reporting the
+    // whole run as idle-after-halt would poison imbalance metrics.
+    if (cold[tile].program.empty())
         return 0;
-    return _cycles.value() - tileState[tile].haltCycle;
+    if (!hot[tile].halted || _cycles.value() == 0)
+        return 0;
+    return _cycles.value() - cold[tile].haltCycle;
 }
 
 std::string

@@ -11,6 +11,13 @@
  * global memory into tile FIFOs at one word per cycle (plus row-miss
  * penalties); DMA-out ports drain words the tiles route to them and
  * write global memory sequentially.
+ *
+ * Two interchangeable run loops execute that model (DESIGN D12): the
+ * reference stepper spins one cycle at a time calling every tile,
+ * while the event-driven stepper keeps a next-wake cycle per tile,
+ * jumps `now` to the minimum pending wake, and credits the skipped
+ * cycles to the sleeping tiles' stall tallies in bulk. Both produce
+ * bit-identical cycle counts and statistics.
  */
 
 #ifndef TRIARCH_RAW_MACHINE_HH
@@ -18,7 +25,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <span>
 #include <string>
@@ -29,8 +35,10 @@
 #include "raw/isa.hh"
 #include "sim/cycle_account.hh"
 #include "sim/host_clock.hh"
+#include "sim/ring_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "sim/zero_buffer.hh"
 
 namespace triarch::raw
 {
@@ -60,6 +68,8 @@ class RawMachine
 
     void pokeGlobal(Addr addr, std::span<const Word> words);
     std::vector<Word> peekGlobal(Addr addr, std::size_t count) const;
+    /** Copy-free variant: read global DRAM straight into @p out. */
+    void peekGlobalInto(Addr addr, std::span<Word> out) const;
 
     /** Load a program into a tile (pc resets to 0). */
     void setProgram(unsigned tile, std::vector<Instr> program);
@@ -120,8 +130,30 @@ class RawMachine
     /** Instructions retired by one tile (load-balance studies). */
     std::uint64_t tileInstructions(unsigned tile) const;
 
-    /** Cycles tile spent fully idle after halting. */
+    /** Cycles tile spent fully idle after halting. A tile that was
+     *  never given a (non-empty) program never ran and never halted,
+     *  so it reports 0 rather than the whole run. */
     std::uint64_t tileIdleAfterHalt(unsigned tile) const;
+
+    /**
+     * The raw per-tile-cycle tallies behind cycleBreakdown(): each
+     * tile accrues exactly one tally per run() cycle, so the fields
+     * sum to tiles() x cycles. Exposed so tests can pin accounting
+     * invariants (net == net_stalls - dma, partition sum, ...).
+     */
+    struct StallTallies
+    {
+        std::uint64_t busy;     //!< retired an instruction
+        std::uint64_t dep;      //!< operand-latency stall
+        std::uint64_t cache;    //!< cache-miss stall
+        std::uint64_t net;      //!< network wait / send occupancy
+        std::uint64_t dma;      //!< DMA-fed FIFO wait
+        std::uint64_t idle;     //!< halted (imbalance idle)
+    };
+    StallTallies stallTallies() const
+    {
+        return {tcBusy, tcDep, tcCache, tcNet, tcDma, tcIdle};
+    }
 
     /**
      * Finalize the cycle account against @p total. Every tile is in
@@ -154,38 +186,67 @@ class RawMachine
     /** Why a tile is not retiring this cycle (for the account). */
     enum class TileStall : std::uint8_t { None, Dep, Cache, Net, Dma };
 
-    struct Tile
+    /** A tile's next-wake cycle of "never" (halted / unknown). */
+    static constexpr Cycles kNever = ~Cycles{0};
+
+    /**
+     * Per-tile state the interpreter touches every step, laid out
+     * contiguously (one vector element per tile). Cold bulk — the
+     * program and SRAM backing stores, the cache object, halt
+     * bookkeeping — lives in TileCold; the hot struct carries raw
+     * pointers into it.
+     */
+    struct TileHot
     {
-        std::array<std::uint32_t, numRegs> regs{};
-        std::array<Cycles, numRegs> ready{};
-        std::vector<Instr> program;
         unsigned pc = 0;
-        bool halted = false;
-        Cycles haltCycle = 0;
+        std::uint32_t progLen = 0;
+        const Instr *prog = nullptr;
         Cycles stallUntil = 0;
         TileStall stallKind = TileStall::None;
+        bool halted = false;
         bool dmaFed = false;    //!< a DMA-in segment targets this tile
+        /** Event stepper: csti words awaited while the FIFO is too
+         *  short to know a wake cycle (0 = not waiting on a push). */
+        std::uint8_t waitPops = 0;
+        /** Event stepper: blocked on an empty dynamic-network FIFO. */
+        bool waitDyn = false;
+        unsigned route = ~0u;
+        /** Event stepper: stall tallies cover cycles
+         *  [0, talliedThrough); the gap up to `now` is credited in
+         *  bulk before the tile steps again. */
+        Cycles talliedThrough = 0;
+        std::uint8_t *sram = nullptr;
+        mem::SetAssocCache *cache = nullptr;
+        std::uint64_t instrs = 0;
+        std::array<std::uint32_t, numRegs> regs{};
+        std::array<Cycles, numRegs> ready{};
+        RingQueue<std::pair<Cycles, Word>> inFifo;  //!< arrival,value
+        RingQueue<std::pair<Cycles, Word>> dynFifo; //!< dynamic net
+    };
+
+    struct TileCold
+    {
+        std::vector<Instr> program;
         std::vector<std::uint8_t> sram;
         std::unique_ptr<mem::SetAssocCache> cache;
-        std::deque<std::pair<Cycles, Word>> inFifo; //!< arrival,value
-        std::deque<std::pair<Cycles, Word>> dynFifo; //!< dynamic net
-        unsigned route = ~0u;
-        std::uint64_t instrs = 0;
+        Cycles haltCycle = 0;
     };
 
     struct Port
     {
-        std::deque<DmaSegment> inQueue;
-        std::deque<DmaSegment> outQueue;
-        std::deque<std::pair<Cycles, Word>> arrivals; //!< from tiles
+        RingQueue<DmaSegment> inQueue;
+        RingQueue<DmaSegment> outQueue;
+        RingQueue<std::pair<Cycles, Word>> arrivals; //!< from tiles
         Cycles inFree = 0;
         Cycles outFree = 0;
         Addr inLastRow = ~Addr{0};
         Addr outLastRow = ~Addr{0};
     };
 
-    /** Step one tile by one cycle. */
+    /** Step one tile by one cycle; records one tally and refreshes
+     *  the tile's next-wake cycle (ignored by the reference loop). */
     void stepTile(unsigned t, Cycles now);
+    void batchTile(unsigned t, Cycles cur);
 
     /** Account one cycle of @p kind for a tile. */
     void tallyStall(TileStall kind);
@@ -199,13 +260,59 @@ class RawMachine
     /** XY-hop count between two tiles. */
     unsigned hops(unsigned a, unsigned b) const;
 
+    /** Event stepper: credit a sleeping tile's tallies for cycles
+     *  [talliedThrough, now) in one addition. */
+    void creditSleep(unsigned t, Cycles now);
+
+    /** Event stepper: earliest cycle >= @p from where any tile wakes
+     *  or any DMA port can act; kNever when nothing is pending. */
+    Cycles nextEventCycle(Cycles from) const;
+
+    /** Event stepper: a word was pushed into tile @p t's input FIFO
+     *  — wake the tile if it was waiting for the push. */
+    void noteFifoPush(unsigned t);
+
+    /** The original cycle-at-a-time loop (kept as the differential
+     *  reference for the event stepper). */
+    Cycles runReference();
+
+    /** The event-driven loop: jump to the minimum pending wake. */
+    Cycles runEvent();
+
     bool allDone() const;
 
     RawConfig cfg;
-    std::vector<Tile> tileState;
+    std::vector<TileHot> hot;
+    std::vector<TileCold> cold;
+    /** Per-tile next-wake cycles, contiguous for the min-scan. */
+    std::vector<Cycles> wake;
     std::vector<Port> ports;
-    std::vector<std::uint8_t> global;
+    /** Global DRAM: lazily-faulted zero pages, so constructing the
+     *  64 MB model costs microseconds, not a 64 MB memset. */
+    ZeroBuffer global;
     Addr allocNext = 64;
+    /** DRAM row of @p a (shift when portRowBytes is a power of 2;
+     *  the division sits on every streamed word otherwise). */
+    Addr rowOf(Addr a) const
+    {
+        return portRowShift >= 0 ? a >> portRowShift
+                                 : a / cfg.portRowBytes;
+    }
+    int portRowShift = -1;
+    /** logLevel() is an out-of-line call; sampled once per run() so
+     *  the per-instruction debug check is a flag test. */
+    bool debugTrace = false;
+    /** Event-stepper runs may execute tile-local instruction runs in
+     *  one stepTile call; always false for the reference stepper. */
+    bool batching = false;
+    /** Latest halt-cycle + 1 executed inside a batch this run; the
+     *  event loop's cursor can exit behind it. */
+    Cycles batchedHaltEnd = 0;
+    /** O(1) allDone for the event loop: non-halted tiles ... */
+    unsigned liveTiles = 0;
+    /** ... plus undrained port work items (queued DMA segments and
+     *  in-flight port arrivals). */
+    std::uint64_t portWork = 0;
 
     // Tile-cycle tallies: each tile contributes exactly one tally
     // per run() cycle, so their sum is tiles() x wall cycles.

@@ -53,6 +53,29 @@ roundUp(std::uint64_t a, std::uint64_t align)
     return ceilDiv(a, align) * align;
 }
 
+/**
+ * Round @p a up to the next multiple of @p align without wrapping:
+ * writes the result to @p out and returns true, or returns false
+ * when the rounded value does not fit in 64 bits. Plain roundUp()
+ * computes ceilDiv(a, align) * align, which wraps silently near the
+ * top of the range — callers guarding allocation bounds need the
+ * checked form.
+ */
+constexpr bool
+roundUpChecked(std::uint64_t a, std::uint64_t align, std::uint64_t &out)
+{
+    const std::uint64_t rem = a % align;
+    if (rem == 0) {
+        out = a;
+        return true;
+    }
+    const std::uint64_t pad = align - rem;
+    if (a > ~std::uint64_t{0} - pad)
+        return false;
+    out = a + pad;
+    return true;
+}
+
 /** Extract bits [lo, lo+len) of @p v. */
 constexpr std::uint64_t
 bits(std::uint64_t v, unsigned lo, unsigned len)

@@ -13,6 +13,8 @@
 
 #include <sstream>
 
+#include "raw/assembler.hh"
+#include "raw/machine.hh"
 #include "sim/cycle_account.hh"
 #include "study/bench_report.hh"
 #include "study/parallel.hh"
@@ -516,6 +518,86 @@ TEST(BenchDiffHost, GateFailsOnRegressionAndPassesWithin)
     // silent pass.
     fresh.host.reset();
     EXPECT_FALSE(diffHostSections(baseline, fresh, 1.5).ok());
+}
+
+} // namespace
+} // namespace triarch::study
+
+// Re-opened for the Raw stall-tally reconciliation: the net_stalls
+// scalar counts one per stalled tile-cycle, so it must equal the
+// network + DMA rows of the per-tile-cycle tally partition exactly.
+// (It used to undercount Dsend re-stall cycles by bumping once per
+// stall *event*.)
+namespace triarch::study
+{
+namespace
+{
+
+using raw::Assembler;
+using raw::Label;
+using raw::RawMachine;
+using raw::regCsti;
+using raw::regCsto;
+
+TEST(RawStallTallies, NetStallsEqualNetPlusDmaTallyRows)
+{
+    // A deliberately contended workload: DMA-fed FIFO waits, static
+    // network backpressure, and dynamic sends that re-stall on
+    // occupancy while the hub drains slowly.
+    RawMachine m;
+    const Addr in = m.allocGlobal(2048, "in");
+    std::vector<Word> data(512);
+    for (unsigned i = 0; i < 512; ++i)
+        data[i] = i;
+    m.pokeGlobal(in, data);
+    m.dmaIn(2, 2, in, 512);
+
+    Assembler consumer;         // tile 2: drains the DMA stream
+    consumer.li(2, 512);
+    Label drain = consumer.label();
+    consumer.bind(drain);
+    consumer.move(1, regCsti);
+    consumer.addi(2, 2, -1);
+    consumer.bne(2, 0, drain);
+    consumer.halt();
+    m.setProgram(2, consumer.finish());
+
+    for (unsigned t : {4u, 5u, 6u, 7u}) {
+        Assembler spam;         // dsend floods toward tile 0
+        spam.li(1, 0);
+        for (int i = 0; i < 16; ++i) {
+            spam.li(2, static_cast<std::int32_t>(t + i));
+            spam.dsend(1, 2);
+        }
+        spam.halt();
+        m.setProgram(t, spam.finish());
+    }
+    Assembler hub;              // tile 0: slow receiver
+    hub.li(1, 0);
+    hub.li(2, 64);
+    Label loop = hub.label();
+    hub.bind(loop);
+    hub.drecv(3);
+    hub.add(1, 1, 3);
+    hub.add(1, 1, 1);
+    hub.addi(2, 2, -1);
+    hub.bne(2, 0, loop);
+    hub.halt();
+    m.setProgram(0, hub.finish());
+
+    const Cycles cycles = m.run();
+    const auto t = m.stallTallies();
+
+    // Every tile is in exactly one state each cycle.
+    EXPECT_EQ(t.busy + t.dep + t.cache + t.net + t.dma + t.idle,
+              16u * cycles);
+    // The busy row is precisely the retired-instruction count.
+    EXPECT_EQ(t.busy, m.instructions());
+    // The scalar counts per stalled cycle (including Dsend
+    // re-stalls), never per stall event.
+    EXPECT_EQ(m.netStalls(), t.net + t.dma);
+    EXPECT_GT(t.net, 0u);
+    EXPECT_GT(t.dma, 0u);
 }
 
 } // namespace

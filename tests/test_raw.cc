@@ -873,3 +873,75 @@ TEST(RawKernels, ContinuousInputAmortizesImbalance)
 
 } // namespace
 } // namespace triarch::raw
+
+// Re-opened for the event-stepper PR's accounting bugfixes.
+namespace triarch::raw
+{
+namespace
+{
+
+TEST(RawMachineTest, NeverProgrammedTileReportsZeroIdleAfterHalt)
+{
+    // Only tile 0 runs: the other fifteen were parked by the
+    // constructor and never halted, so they must not report the
+    // whole run as idle-after-halt (which poisoned imbalance
+    // metrics for sparse mappings).
+    RawMachine m;
+    Assembler as;
+    as.li(1, 1);
+    for (int i = 0; i < 50; ++i)
+        as.add(1, 1, 1);
+    as.halt();
+    m.setProgram(0, as.finish());
+    const Cycles cycles = m.run();
+    ASSERT_GT(cycles, 0u);
+    for (unsigned t = 1; t < 16; ++t)
+        EXPECT_EQ(m.tileIdleAfterHalt(t), 0u) << "tile " << t;
+}
+
+TEST(RawMachineTest, EarlyHaltingTileStillReportsIdle)
+{
+    // Real imbalance must keep showing: a programmed tile that
+    // halts early reports the cycles it sat out.
+    RawMachine m;
+    Assembler quick;
+    quick.li(1, 1);
+    quick.halt();
+    m.setProgram(0, quick.finish());
+    Assembler busy;
+    busy.li(1, 0);
+    busy.li(2, 200);
+    Label loop = busy.label();
+    busy.bind(loop);
+    busy.add(1, 1, 2);
+    busy.addi(2, 2, -1);
+    busy.bne(2, 0, loop);
+    busy.halt();
+    m.setProgram(1, busy.finish());
+    m.run();
+    EXPECT_GT(m.tileIdleAfterHalt(0), 100u);
+    EXPECT_LT(m.tileIdleAfterHalt(1), 4u);
+}
+
+TEST(RawMachineTest, AllocGlobalOverflowIsFatal)
+{
+    // A request that would wrap the 64-bit bounds arithmetic must
+    // exhaust, not hand out overlapping memory.
+    RawMachine m;
+    m.allocGlobal(4096, "first");
+    EXPECT_DEATH(m.allocGlobal(~std::uint64_t{0} - 63, "wrap"),
+                 "exhausted");
+}
+
+TEST(RawMachineTest, AllocGlobalExhaustsAtCapacity)
+{
+    // Word 0 is reserved, so capacity minus the first slot is an
+    // exact fit; a single further byte must exhaust.
+    RawConfig cfg;
+    RawMachine m(cfg);
+    m.allocGlobal(cfg.globalBytes - 64, "everything");
+    EXPECT_DEATH(m.allocGlobal(1, "one more"), "exhausted");
+}
+
+} // namespace
+} // namespace triarch::raw

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Differential tests for the event-driven Raw stepper. The event
+ * scheduler (wake times, bulk stall credit, tile-local instruction
+ * batching) is an optimization of the reference cycle-by-cycle
+ * interpreter, never a semantic change: every program and every
+ * study-level Raw cell must produce bit-identical cycle counts,
+ * stall tallies, and memory contents under both steppers, serially
+ * and at every thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "raw/assembler.hh"
+#include "raw/machine.hh"
+#include "sim/bitutil.hh"
+#include "study/fuzz.hh"
+#include "study/parallel.hh"
+
+namespace triarch::raw
+{
+namespace
+{
+
+/**
+ * Build the same workload on a reference-stepped and an
+ * event-stepped machine, run both, and require every observable —
+ * cycle count, scalar stats, the six per-tile-cycle tallies, and
+ * per-tile instruction/idle figures — to match exactly.
+ */
+void
+expectSteppersAgree(const std::function<void(RawMachine &)> &setup,
+                    RawConfig base = RawConfig{})
+{
+    RawConfig refCfg = base;
+    refCfg.stepper = RawStepper::Reference;
+    RawConfig evtCfg = base;
+    evtCfg.stepper = RawStepper::Event;
+
+    RawMachine ref(refCfg), evt(evtCfg);
+    setup(ref);
+    setup(evt);
+    const Cycles refCycles = ref.run();
+    const Cycles evtCycles = evt.run();
+    EXPECT_EQ(refCycles, evtCycles);
+
+    EXPECT_EQ(ref.instructions(), evt.instructions());
+    EXPECT_EQ(ref.netStalls(), evt.netStalls());
+    EXPECT_EQ(ref.depStalls(), evt.depStalls());
+    EXPECT_EQ(ref.cacheStallCycles(), evt.cacheStallCycles());
+    EXPECT_EQ(ref.loadStores(), evt.loadStores());
+    EXPECT_EQ(ref.fpOps(), evt.fpOps());
+
+    const auto a = ref.stallTallies();
+    const auto b = evt.stallTallies();
+    EXPECT_EQ(a.busy, b.busy);
+    EXPECT_EQ(a.dep, b.dep);
+    EXPECT_EQ(a.cache, b.cache);
+    EXPECT_EQ(a.net, b.net);
+    EXPECT_EQ(a.dma, b.dma);
+    EXPECT_EQ(a.idle, b.idle);
+
+    for (unsigned t = 0; t < 16; ++t) {
+        EXPECT_EQ(ref.tileInstructions(t), evt.tileInstructions(t))
+            << "tile " << t;
+        EXPECT_EQ(ref.tileIdleAfterHalt(t), evt.tileIdleAfterHalt(t))
+            << "tile " << t;
+    }
+}
+
+TEST(RawEventDifferential, DependentLatencyChain)
+{
+    // Pure tile-local code: exercises the batch executor's dep-gap
+    // accounting (tcDep bumped per stall event, not per call).
+    expectSteppersAgree([](RawMachine &m) {
+        Assembler as;
+        as.li(1, static_cast<std::int32_t>(floatToWord(1.0f)));
+        for (int i = 0; i < 40; ++i)
+            as.fmul(1, 1, 1);
+        for (int i = 0; i < 40; ++i)
+            as.fmul(2 + (i % 8), 1, 1);
+        as.halt();
+        m.setProgram(0, as.finish());
+    });
+}
+
+TEST(RawEventDifferential, StaticNetworkPingPong)
+{
+    // Blocking $csti/$csto between distant tiles: the event stepper
+    // must resolve unknown wake times via FIFO-push notification.
+    expectSteppersAgree([](RawMachine &m) {
+        m.setRoute(0, 15);
+        m.setRoute(15, 0);
+        Assembler t0;
+        t0.li(1, 5);
+        Label loop = t0.label();
+        t0.bind(loop);
+        t0.move(regCsto, 1);
+        t0.move(2, regCsti);
+        t0.addi(1, 1, -1);
+        t0.bne(1, 0, loop);
+        t0.halt();
+        m.setProgram(0, t0.finish());
+        Assembler t15;
+        t15.li(3, 5);
+        Label echo = t15.label();
+        t15.bind(echo);
+        t15.move(regCsto, regCsti);
+        t15.addi(3, 3, -1);
+        t15.bne(3, 0, echo);
+        t15.halt();
+        m.setProgram(15, t15.finish());
+    });
+}
+
+TEST(RawEventDifferential, FullFifoBackpressure)
+{
+    // A fast sender against a slow consumer: the sender re-polls a
+    // full FIFO every cycle, the exact path of the net-stall
+    // re-count fix.
+    expectSteppersAgree([](RawMachine &m) {
+        m.setRoute(0, 1);
+        Assembler fast;
+        fast.li(1, 64);
+        Label send = fast.label();
+        fast.bind(send);
+        fast.move(regCsto, 1);
+        fast.addi(1, 1, -1);
+        fast.bne(1, 0, send);
+        fast.halt();
+        m.setProgram(0, fast.finish());
+        Assembler slow;
+        slow.li(1, static_cast<std::int32_t>(floatToWord(2.0f)));
+        slow.li(2, 64);
+        Label eat = slow.label();
+        slow.bind(eat);
+        slow.move(3, regCsti);
+        slow.fmul(4, 1, 1);     // latency padding between pops
+        slow.fmul(4, 4, 4);
+        slow.addi(2, 2, -1);
+        slow.bne(2, 0, eat);
+        slow.halt();
+        m.setProgram(1, slow.finish());
+    });
+}
+
+TEST(RawEventDifferential, DmaRoundTripWithRowMisses)
+{
+    // DMA ports on both sides of a tile, long enough to cross DRAM
+    // row boundaries (the per-port wake path).
+    expectSteppersAgree([](RawMachine &m) {
+        const Addr in = m.allocGlobal(4096, "in");
+        const Addr out = m.allocGlobal(4096, "out");
+        std::vector<Word> data(1024);
+        for (unsigned i = 0; i < 1024; ++i)
+            data[i] = i * 7;
+        m.pokeGlobal(in, data);
+        m.dmaIn(5, 5, in, 1024);
+        m.dmaOut(5, out, 1024);
+        m.setRoute(5, portEndpoint(5));
+        Assembler as;
+        as.li(2, 1024);
+        Label loop = as.label();
+        as.bind(loop);
+        as.add(regCsto, regCsti, 0);
+        as.addi(2, 2, -1);
+        as.bne(2, 0, loop);
+        as.halt();
+        m.setProgram(5, as.finish());
+    });
+}
+
+TEST(RawEventDifferential, CachedGlobalAccesses)
+{
+    // Global lw/sw through the per-tile cache: the batch executor
+    // must hand these back to the per-cycle path untouched.
+    expectSteppersAgree([](RawMachine &m) {
+        const Addr buf = m.allocGlobal(16384, "buf");
+        std::vector<Word> data(4096);
+        for (unsigned i = 0; i < 4096; ++i)
+            data[i] = i;
+        m.pokeGlobal(buf, data);
+        Assembler as;
+        as.li(1, static_cast<std::int32_t>(buf));
+        as.li(2, 2048);
+        as.li(3, 0);
+        Label loop = as.label();
+        as.bind(loop);
+        as.lw(4, 1, 0);
+        as.add(3, 3, 4);
+        as.sw(3, 1, 0);
+        as.addi(1, 1, 4);
+        as.addi(2, 2, -1);
+        as.bne(2, 0, loop);
+        as.halt();
+        m.setProgram(0, as.finish());
+    });
+}
+
+TEST(RawEventDifferential, DynamicNetworkGather)
+{
+    // dsend/drecv with unknown receiver wake times and send
+    // occupancy stalls.
+    expectSteppersAgree([](RawMachine &m) {
+        for (unsigned t = 1; t < 16; ++t) {
+            Assembler as;
+            as.li(1, 0);
+            for (int i = 0; i < 4; ++i) {
+                as.li(2, static_cast<std::int32_t>(t * 10 + i));
+                as.dsend(1, 2);
+            }
+            as.halt();
+            m.setProgram(t, as.finish());
+        }
+        Assembler hub;
+        hub.li(1, 0);
+        hub.li(2, 60);
+        Label loop = hub.label();
+        hub.bind(loop);
+        hub.drecv(3);
+        hub.add(1, 1, 3);
+        hub.addi(2, 2, -1);
+        hub.bne(2, 0, loop);
+        hub.sw(1, 0, 0);
+        hub.halt();
+        m.setProgram(0, hub.finish());
+    });
+}
+
+TEST(RawEventDifferential, MaxCyclesDeadlockIsFatalInBothModes)
+{
+    // The skip-ahead must not jump past the runaway guard.
+    for (const RawStepper s :
+         {RawStepper::Reference, RawStepper::Event}) {
+        RawConfig cfg;
+        cfg.maxCycles = 5000;
+        cfg.stepper = s;
+        EXPECT_DEATH(
+            {
+                RawMachine m(cfg);
+                Assembler as;
+                as.move(1, regCsti);
+                as.halt();
+                m.setProgram(0, as.finish());
+                m.run();
+            },
+            "deadlock");
+    }
+}
+
+} // namespace
+} // namespace triarch::raw
+
+// Study-level: the fuzz sweep's boundary configs, run on every Raw
+// cell under both steppers and at several thread counts.
+namespace triarch::study
+{
+namespace
+{
+
+/** RAII override of the process-wide default stepper. */
+class StepperOverride
+{
+  public:
+    explicit StepperOverride(raw::RawStepper s)
+        : saved(raw::defaultRawStepper())
+    {
+        raw::setDefaultRawStepper(s);
+    }
+    ~StepperOverride() { raw::setDefaultRawStepper(saved); }
+
+  private:
+    raw::RawStepper saved;
+};
+
+TEST(RawEventDifferential, BoundaryConfigsAcrossThreadCounts)
+{
+    FuzzOptions opts;
+    opts.randomConfigs = 0;     // the hand-written boundary set only
+    const std::vector<Cell> rawCells = {
+        {MachineId::Raw, KernelId::CornerTurn},
+        {MachineId::Raw, KernelId::Cslc},
+        {MachineId::Raw, KernelId::BeamSteering},
+    };
+
+    unsigned checked = 0;
+    for (const StudyConfig &cfg : enumerateFuzzConfigs(opts)) {
+        if (validateConfig(cfg))
+            continue;           // invalid-on-purpose boundary config
+        if (checked == 8)
+            break;              // keep the suite seconds-fast
+        ++checked;
+        SCOPED_TRACE(describeConfig(cfg));
+
+        std::vector<RunResult> expect;
+        {
+            StepperOverride guard(raw::RawStepper::Reference);
+            ParallelRunner runner(cfg, 1, nullptr,
+                                  ParallelRunner::noCache());
+            expect = runner.runCells(rawCells);
+        }
+        StepperOverride guard(raw::RawStepper::Event);
+        for (const unsigned threads : {1u, 2u, 8u}) {
+            ParallelRunner runner(cfg, threads, nullptr,
+                                  ParallelRunner::noCache());
+            const std::vector<RunResult> got =
+                runner.runCells(rawCells);
+            ASSERT_EQ(got.size(), expect.size());
+            for (std::size_t i = 0; i < expect.size(); ++i) {
+                EXPECT_EQ(got[i], expect[i])
+                    << threads << " threads, cell " << i;
+            }
+        }
+    }
+    EXPECT_GE(checked, 4u) << "boundary set shrank unexpectedly";
+}
+
+} // namespace
+} // namespace triarch::study
