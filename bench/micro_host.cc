@@ -22,6 +22,7 @@
 #include <limits>
 #include <sstream>
 
+#include "mem/mem_mode.hh"
 #include "raw/config.hh"
 #include "sim/host_clock.hh"
 #include "study/bench_report.hh"
@@ -41,6 +42,7 @@ main(int argc, char **argv)
     unsigned reps = 5;
     int pin = -1;
     bool json = false;
+    bool gridOnly = false;
     std::string machines;
 
     CliOptions cli("Measure the host wall-clock cost of simulating "
@@ -83,6 +85,29 @@ main(int argc, char **argv)
               "all); e.g. --machines raw for the Raw host-time gate",
               [&](const std::string &v) {
                   machines = v;
+                  return 0;
+              });
+    cli.toggle("--grid",
+               "print only the one-line grid summary (median sum and "
+               "cells/sec) — the CI throughput check",
+               [&]() {
+                   gridOnly = true;
+                   return 0;
+               });
+    cli.value("--mem-model", "MODE",
+              "PPC/VIRAM/Imagine memory walk: span (default, batched "
+              "D13 fast path) or reference (word-at-a-time baseline)",
+              [&](const std::string &v) {
+                  if (v == "span") {
+                      mem::setDefaultMemModel(mem::MemModel::Span);
+                  } else if (v == "reference") {
+                      mem::setDefaultMemModel(mem::MemModel::Reference);
+                  } else {
+                      std::fprintf(stderr,
+                                   "--mem-model wants span or "
+                                   "reference, got '%s'\n", v.c_str());
+                      return 2;
+                  }
                   return 0;
               });
     cli.value("--raw-stepper", "MODE",
@@ -147,6 +172,16 @@ main(int argc, char **argv)
         BenchReport report = buildBenchReport(cfg, runner.runCells(cells));
         report.host = host;
         writeBenchReportJson(report, std::cout);
+        return 0;
+    }
+
+    if (gridOnly) {
+        double sumNs = 0.0;
+        for (const HostCellTiming &cell : host.cells)
+            sumNs += cell.medianNs;
+        std::printf("grid %zu cells, median sum %.1f ms, "
+                    "%.2f cells/sec\n",
+                    host.cells.size(), sumNs / 1e6, host.cellsPerSec);
         return 0;
     }
 

@@ -1,6 +1,7 @@
 #include "kernels_imagine.hh"
 
 #include <cstring>
+#include <span>
 
 #include "kernels/fft.hh"
 #include "sim/bitutil.hh"
@@ -60,11 +61,13 @@ cornerTurnImagine(ImagineMachine &machine,
             reorder, {&in[0], &in[1], &in[2], &in[3]}, {&outStream},
             [&] {
                 auto out = machine.srfData(outStream);
+                const std::span<Word> rows[4] = {
+                    machine.srfData(in[0]), machine.srfData(in[1]),
+                    machine.srfData(in[2]), machine.srfData(in[3])};
                 for (unsigned c = 0; c < src.cols; ++c) {
                     for (unsigned r = 0; r < strip; ++r) {
-                        auto rows = machine.srfData(in[r / 2]);
                         out[static_cast<std::size_t>(c) * strip + r] =
-                            rows[(r % 2) * rowWords + c];
+                            rows[r / 2][(r % 2) * rowWords + c];
                     }
                 }
             });

@@ -12,7 +12,10 @@ namespace triarch::imagine
 {
 
 ImagineMachine::ImagineMachine(const ImagineConfig &machine_config)
-    : cfg(machine_config), dram(cfg.memBytes, 0),
+    : cfg(machine_config),
+      spanMem(mem::resolveMemModel(cfg.memModel)
+              != mem::MemModel::Reference),
+      dram(cfg.memBytes),
       srf(cfg.srfBytes / 4, 0),
       allocator(cfg.srfBytes, cfg.srfBlockBytes),
       engineFree(cfg.memEngines, 0), group("imagine")
@@ -154,13 +157,21 @@ ImagineMachine::loadStream(const StreamRef &ref,
                        + pattern.recordWords * 4 <= dram.size(),
                    "stream load outside DRAM");
 
-    // Functional copy DRAM -> SRF, record by record.
+    // Functional copy DRAM -> SRF, record by record (one flat copy
+    // when the records abut).
     Word *dst = srf.data() + ref.offsetWords;
-    for (unsigned r = 0; r < pattern.records; ++r) {
-        std::memcpy(dst + static_cast<std::size_t>(r)
-                    * pattern.recordWords,
-                    dram.data() + pattern.base + r * pattern.strideBytes,
-                    pattern.recordWords * 4);
+    if (pattern.strideBytes
+        == static_cast<Addr>(pattern.recordWords) * 4) {
+        std::memcpy(dst, dram.data() + pattern.base,
+                    static_cast<std::size_t>(pattern.totalWords()) * 4);
+    } else {
+        for (unsigned r = 0; r < pattern.records; ++r) {
+            std::memcpy(dst + static_cast<std::size_t>(r)
+                        * pattern.recordWords,
+                        dram.data() + pattern.base
+                        + r * pattern.strideBytes,
+                        pattern.recordWords * 4);
+        }
     }
 
     const Cycles issued = issueOp();
@@ -170,10 +181,17 @@ ImagineMachine::loadStream(const StreamRef &ref,
     const Cycles start = std::max(issued, engineFree[e]);
 
     mem::AccessWindow window{start, start};
-    for (unsigned r = 0; r < pattern.records; ++r) {
-        window = channels[e]->access(
-            pattern.base + r * pattern.strideBytes, pattern.recordWords,
-            start);
+    if (spanMem && pattern.records > 0) {
+        window = channels[e]->accessPattern(pattern.base,
+                                            pattern.strideBytes,
+                                            pattern.records,
+                                            pattern.recordWords, start);
+    } else {
+        for (unsigned r = 0; r < pattern.records; ++r) {
+            window = channels[e]->access(
+                pattern.base + r * pattern.strideBytes,
+                pattern.recordWords, start);
+        }
     }
     // The engine itself moves at most one word per cycle.
     const Cycles engineTime = start + pattern.totalWords();
@@ -197,13 +215,21 @@ ImagineMachine::storeStream(const StreamRef &ref,
     triarch_assert(pattern.totalWords() == ref.words,
                    "stream/pattern length mismatch");
 
-    // Functional copy SRF -> DRAM.
+    // Functional copy SRF -> DRAM (one flat copy when the records
+    // abut).
     const Word *src = srf.data() + ref.offsetWords;
-    for (unsigned r = 0; r < pattern.records; ++r) {
-        std::memcpy(dram.data() + pattern.base + r * pattern.strideBytes,
-                    src + static_cast<std::size_t>(r)
-                    * pattern.recordWords,
-                    pattern.recordWords * 4);
+    if (pattern.strideBytes
+        == static_cast<Addr>(pattern.recordWords) * 4) {
+        std::memcpy(dram.data() + pattern.base, src,
+                    static_cast<std::size_t>(pattern.totalWords()) * 4);
+    } else {
+        for (unsigned r = 0; r < pattern.records; ++r) {
+            std::memcpy(dram.data() + pattern.base
+                        + r * pattern.strideBytes,
+                        src + static_cast<std::size_t>(r)
+                        * pattern.recordWords,
+                        pattern.recordWords * 4);
+        }
     }
 
     const Cycles issued = issueOp();
@@ -214,10 +240,17 @@ ImagineMachine::storeStream(const StreamRef &ref,
         std::max({issued, engineFree[e], streamReady(ref)});
 
     mem::AccessWindow window{start, start};
-    for (unsigned r = 0; r < pattern.records; ++r) {
-        window = channels[e]->access(
-            pattern.base + r * pattern.strideBytes, pattern.recordWords,
-            start);
+    if (spanMem && pattern.records > 0) {
+        window = channels[e]->accessPattern(pattern.base,
+                                            pattern.strideBytes,
+                                            pattern.records,
+                                            pattern.recordWords, start);
+    } else {
+        for (unsigned r = 0; r < pattern.records; ++r) {
+            window = channels[e]->access(
+                pattern.base + r * pattern.strideBytes,
+                pattern.recordWords, start);
+        }
     }
     const Cycles engineTime = start + pattern.totalWords();
     const Cycles finish = std::max(window.finish, engineTime);

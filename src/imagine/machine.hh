@@ -28,6 +28,7 @@
 #include "imagine/srf.hh"
 #include "mem/dram.hh"
 #include "sim/cycle_account.hh"
+#include "sim/zero_buffer.hh"
 #include "sim/host_clock.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -177,9 +178,10 @@ class ImagineMachine
     void setStreamReady(const StreamRef &ref, Cycles when);
 
     ImagineConfig cfg;
+    bool spanMem;
 
     // Functional state.
-    std::vector<std::uint8_t> dram;
+    ZeroBuffer dram;
     std::vector<Word> srf;
     SrfAllocator allocator;
     Addr allocNext = 64;

@@ -1,5 +1,7 @@
 #include "cache.hh"
 
+#include <algorithm>
+
 #include "sim/bitutil.hh"
 #include "sim/logging.hh"
 
@@ -17,7 +19,10 @@ SetAssocCache::SetAssocCache(const CacheConfig &cache_config)
     triarch_assert(isPowerOf2(numSets), "set count must be 2^n");
     lineShift = floorLog2(cfg.lineBytes);
     setShift = floorLog2(numSets);
-    lines.resize(numSets * cfg.assoc);
+    tags.assign(numSets * cfg.assoc, ~Addr{0});
+    lastUse.assign(numSets * cfg.assoc, 0);
+    flags.assign(numSets * cfg.assoc, 0);
+    wayMemo.assign(numSets, {});
 
     group.addScalar("hits", &_hits, "cache hits");
     group.addScalar("misses", &_misses, "cache misses");
@@ -41,40 +46,52 @@ SetAssocCache::access(Addr addr, bool write)
 {
     const std::uint64_t set = setOf(addr);
     const Addr tag = tagOf(addr);
-    Line *ways = &lines[set * cfg.assoc];
+    const std::uint64_t base = set * cfg.assoc;
     ++useClock;
 
+    // Invalid ways hold the ~0 tag sentinel (no simulated address
+    // reaches it), so the hit scan is a pure tag compare.
     for (unsigned w = 0; w < cfg.assoc; ++w) {
-        if (ways[w].valid && ways[w].tag == tag) {
-            ways[w].lastUse = useClock;
-            ways[w].dirty = ways[w].dirty || write;
+        if (tags[base + w] == tag) {
+            lastUse[base + w] = useClock;
+            if (write)
+                flags[base + w] = 1;
             ++_hits;
+            wayMemo[set] = {addr >> lineShift,
+                            static_cast<std::uint32_t>(base + w)};
             return {true, std::nullopt};
         }
     }
 
     ++_misses;
 
-    // Pick invalid way first, else true LRU.
+    // True LRU with invalid ways first: invalid ways keep a zero
+    // stamp and valid ways are stamped >= 1, so the earliest-minimum
+    // scan lands on the first invalid way when one exists and on the
+    // least recently used line otherwise.
     unsigned victim = 0;
-    for (unsigned w = 0; w < cfg.assoc; ++w) {
-        if (!ways[w].valid) {
+    std::uint64_t oldest = lastUse[base];
+    for (unsigned w = 1; w < cfg.assoc; ++w) {
+        if (lastUse[base + w] < oldest) {
+            oldest = lastUse[base + w];
             victim = w;
-            break;
         }
-        if (ways[w].lastUse < ways[victim].lastUse)
-            victim = w;
     }
 
     CacheResult result{false, std::nullopt};
-    if (ways[victim].valid && ways[victim].dirty) {
+    if (flags[base + victim]) {
+        // Only a resident line can be dirty, so no validity check.
         ++_writebacks;
         const Addr victimAddr =
-            (ways[victim].tag * numSets + set) * cfg.lineBytes;
+            (tags[base + victim] * numSets + set) * cfg.lineBytes;
         result.writebackAddr = victimAddr;
     }
 
-    ways[victim] = {tag, true, write, useClock};
+    tags[base + victim] = tag;
+    lastUse[base + victim] = useClock;
+    flags[base + victim] = write ? 1 : 0;
+    wayMemo[set] = {addr >> lineShift,
+                    static_cast<std::uint32_t>(base + victim)};
     return result;
 }
 
@@ -83,9 +100,9 @@ SetAssocCache::contains(Addr addr) const
 {
     const std::uint64_t set = setOf(addr);
     const Addr tag = tagOf(addr);
-    const Line *ways = &lines[set * cfg.assoc];
+    const std::uint64_t base = set * cfg.assoc;
     for (unsigned w = 0; w < cfg.assoc; ++w) {
-        if (ways[w].valid && ways[w].tag == tag)
+        if (tags[base + w] == tag)
             return true;
     }
     return false;
@@ -94,8 +111,12 @@ SetAssocCache::contains(Addr addr) const
 void
 SetAssocCache::flush()
 {
-    for (auto &line : lines)
-        line = Line{};
+    std::fill(tags.begin(), tags.end(), ~Addr{0});
+    std::fill(lastUse.begin(), lastUse.end(), 0);
+    std::fill(flags.begin(), flags.end(), std::uint8_t{0});
+    // A matching way memo is a proof of residency, and nothing is
+    // resident any more.
+    std::fill(wayMemo.begin(), wayMemo.end(), WayMemo{});
 }
 
 Tlb::Tlb(std::string tlb_name, unsigned tlb_entries, Addr page_bytes,
@@ -106,6 +127,8 @@ Tlb::Tlb(std::string tlb_name, unsigned tlb_entries, Addr page_bytes,
 {
     triarch_assert(entries > 0, "TLB needs entries");
     triarch_assert(pageBytes >= 4, "page too small");
+    if (isPowerOf2(pageBytes))
+        pageShift = floorLog2(pageBytes);
     group.addScalar("hits", &_hits, "TLB hits");
     group.addScalar("misses", &_misses, "TLB misses");
 }
@@ -113,7 +136,7 @@ Tlb::Tlb(std::string tlb_name, unsigned tlb_entries, Addr page_bytes,
 Cycles
 Tlb::access(Addr addr)
 {
-    const Addr page = addr / pageBytes;
+    const Addr page = pageOf(addr);
     ++useClock;
 
     for (auto &e : table) {
@@ -125,6 +148,43 @@ Tlb::access(Addr addr)
     }
 
     ++_misses;
+    Entry *victim = &table[0];
+    for (auto &e : table) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    *victim = {page, useClock, true};
+    return missPenalty;
+}
+
+Cycles
+Tlb::accessRun(Addr addr, std::uint64_t count)
+{
+    if (count == 0)
+        return 0;
+    const Addr page = pageOf(addr);
+    // After the first access resolves the page, the remaining
+    // count-1 accesses hit the same entry and only advance its LRU
+    // stamp, so the final stamp is the clock after all of them.
+    useClock += count;
+
+    for (auto &e : table) {
+        if (e.valid && e.page == page) {
+            e.lastUse = useClock;
+            _hits += count;
+            return 0;
+        }
+    }
+
+    // The victim choice matches what the first (missing) access saw:
+    // no other entry's stamp changes during the run.
+    ++_misses;
+    if (count > 1)
+        _hits += count - 1;
     Entry *victim = &table[0];
     for (auto &e : table) {
         if (!e.valid) {

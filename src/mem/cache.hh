@@ -7,6 +7,14 @@
  * The model is timing-free: it classifies each access as hit or miss
  * and reports the dirty victim, and the owning machine model charges
  * whatever latency its memory system implies.
+ *
+ * Tag state is stored as parallel arrays (tags / lastUse / flags)
+ * rather than an array of line structs: the way scan on every access
+ * touches only the tag column, and the span fast path (D13) re-probes
+ * each set's most recently touched line through accessFast(), which
+ * skips the scan entirely. The per-set way memo can never point at a
+ * replaced line: every eviction happens inside access(), which
+ * rewrites the set's memo with the line it installs.
  */
 
 #ifndef TRIARCH_MEM_CACHE_HH
@@ -53,6 +61,35 @@ class SetAssocCache
      */
     CacheResult access(Addr addr, bool write);
 
+    /**
+     * Way-predicted hit fast path (D13): if @p addr falls on the
+     * line its set most recently hit or installed, apply the exact
+     * hit effects of access() — LRU stamp, dirty flag, hit counter —
+     * and return true. Otherwise leave all state unchanged and
+     * return false so the caller falls back to access().
+     *
+     * Exact by construction: the way memo is only written by
+     * access() pointing at a line it just proved (or made) resident,
+     * and any eviction in a set rewrites that set's memo with the
+     * newly installed line, so a matching memo is a proof of
+     * residency.
+     */
+    bool
+    accessFast(Addr addr, bool write)
+    {
+        const Addr lineAddr = addr >> lineShift;
+        const std::uint64_t set = lineAddr & (numSets - 1);
+        const WayMemo &memo = wayMemo[set];
+        if (lineAddr != memo.lineAddr)
+            return false;
+        ++useClock;
+        lastUse[memo.slot] = useClock;
+        if (write)
+            flags[memo.slot] = 1;
+        ++_hits;
+        return true;
+    }
+
     /** Probe without changing any state. */
     bool contains(Addr addr) const;
 
@@ -73,14 +110,6 @@ class SetAssocCache
     const CacheConfig &config() const { return cfg; }
 
   private:
-    struct Line
-    {
-        Addr tag = ~Addr{0};
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t lastUse = 0;
-    };
-
     std::uint64_t setOf(Addr addr) const;
     Addr tagOf(Addr addr) const;
 
@@ -91,7 +120,22 @@ class SetAssocCache
      *  simulated load/store, where 64-bit division is measurable. */
     unsigned lineShift = 0;
     unsigned setShift = 0;
-    std::vector<Line> lines;    //!< numSets x assoc, row-major
+    /** numSets x assoc, row-major; ~0 = invalid (the sentinel is out
+     *  of reach of any simulated address). */
+    std::vector<Addr> tags;
+    /** LRU stamps, same layout; 0 = invalid way (stamps start at 1),
+     *  which folds invalid-first victim choice into the LRU argmin. */
+    std::vector<std::uint64_t> lastUse;
+    std::vector<std::uint8_t> flags;    //!< 1 = dirty, same layout
+
+    /** The set's most recently hit or installed line, for the
+     *  accessFast() way prediction. */
+    struct WayMemo
+    {
+        Addr lineAddr = ~Addr{0};   //!< addr >> lineShift
+        std::uint32_t slot = 0;     //!< set * assoc + way
+    };
+    std::vector<WayMemo> wayMemo;       //!< one per set
     std::uint64_t useClock = 0;
 
     stats::StatGroup group;
@@ -114,6 +158,16 @@ class Tlb
     /** Translate; returns the refill penalty (0 on a hit). */
     Cycles access(Addr addr);
 
+    /**
+     * Translate @p count back-to-back accesses that all fall on the
+     * page of @p addr. State and statistics end exactly as @p count
+     * calls to access(addr) would leave them (the intermediate
+     * accesses of a run can only hit the entry the first one
+     * resolved, so one scan suffices); returns the refill penalty of
+     * the first access (0 on a hit — the rest always hit).
+     */
+    Cycles accessRun(Addr addr, std::uint64_t count);
+
     void flush();
 
     std::uint64_t hits() const { return _hits.value(); }
@@ -128,8 +182,18 @@ class Tlb
         bool valid = false;
     };
 
+    /** addr-to-page in shift form when the page size is a power of
+     *  two (the common geometry); division otherwise. The page walk
+     *  sits on every element of a strided access. */
+    Addr
+    pageOf(Addr addr) const
+    {
+        return pageShift ? addr >> pageShift : addr / pageBytes;
+    }
+
     unsigned entries;
     Addr pageBytes;
+    unsigned pageShift = 0;     //!< log2(pageBytes), 0 = not pow2
     Cycles missPenalty;
     std::vector<Entry> table;
     std::uint64_t useClock = 0;

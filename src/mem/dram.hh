@@ -94,6 +94,22 @@ class DramModel
                                unsigned count, unsigned wordsEach,
                                Cycles earliest);
 
+    /**
+     * Time a record pattern: @p records bursts of @p recordWords
+     * words, record r starting at @p base + r * @p strideBytes, each
+     * allowed to start no earlier than the same @p earliest cycle.
+     *
+     * State, counters, and the returned window (the last record's
+     * busy window) are bit-identical to the equivalent loop of
+     * access() calls — the Imagine memory-stream contract (D13) —
+     * but runs of records that stay within one open row advance by a
+     * fixed recurrence and are credited in closed form, so the cost
+     * is O(rows touched), not O(records).
+     */
+    AccessWindow accessPattern(Addr base, Addr strideBytes,
+                               unsigned records, unsigned recordWords,
+                               Cycles earliest);
+
     /** First cycle at which the data bus is free. */
     Cycles busFreeAt() const { return busNextFree; }
 

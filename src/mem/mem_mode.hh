@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Memory-model mode selection shared by the PPC/AltiVec, VIRAM, and
+ * Imagine machine models (DESIGN D13).
+ *
+ * Span mode batches regular access sequences — whole cache lines,
+ * DRAM chunk runs, TLB page runs, per-burst stream transfers — and
+ * credits hit/miss cycles in bulk. Reference mode keeps the original
+ * word-at-a-time walks. Both produce bit-identical cycle counts,
+ * statistics documents, and D9 cycle-account partitions (pinned by
+ * the differential tests in test_mem_span.cc), mirroring the
+ * RawStepper::Event / RawStepper::Reference contract from D12.
+ */
+
+#ifndef TRIARCH_MEM_MEM_MODE_HH
+#define TRIARCH_MEM_MEM_MODE_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace triarch::mem
+{
+
+/** Which memory-model walk a machine uses. */
+enum class MemModel : std::uint8_t
+{
+    Default,    //!< follow the process-wide defaultMemModel()
+    Span,       //!< span-batched classification with bulk credit
+    Reference,  //!< word-at-a-time reference walk
+};
+
+namespace detail
+{
+inline std::atomic<MemModel> memModelDefault{MemModel::Span};
+} // namespace detail
+
+/** The model a default-constructed machine config resolves to. */
+inline MemModel
+defaultMemModel()
+{
+    return detail::memModelDefault.load(std::memory_order_relaxed);
+}
+
+/**
+ * Override the process-wide default (differential tests and
+ * micro_host --mem-model; mappings build machines with default
+ * configs, so this is the hook that reaches them).
+ */
+inline void
+setDefaultMemModel(MemModel m)
+{
+    detail::memModelDefault.store(m, std::memory_order_relaxed);
+}
+
+/** Resolve a config's mode against the process-wide default. */
+inline MemModel
+resolveMemModel(MemModel configured)
+{
+    return configured == MemModel::Default ? defaultMemModel()
+                                           : configured;
+}
+
+} // namespace triarch::mem
+
+#endif // TRIARCH_MEM_MEM_MODE_HH

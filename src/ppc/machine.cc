@@ -27,7 +27,10 @@ l2Config(const PpcConfig &cfg)
 } // namespace
 
 PpcMachine::PpcMachine(const PpcConfig &machine_config)
-    : cfg(machine_config), l1(l1Config(cfg)), l2(l2Config(cfg)),
+    : cfg(machine_config),
+      spanMem(mem::resolveMemModel(cfg.memModel)
+              != mem::MemModel::Reference),
+      l1(l1Config(cfg)), l2(l2Config(cfg)),
       fsb("ppc.fsb", cfg.fsbWordsNum, cfg.fsbCyclesDen), group("ppc")
 {
     group.addScalar("int_ops", &_intOps, "integer operations");
@@ -42,41 +45,6 @@ PpcMachine::PpcMachine(const PpcConfig &machine_config)
 }
 
 void
-PpcMachine::intOps(unsigned n, bool dependent)
-{
-    _intOps += n;
-    now += dependent
-               ? static_cast<double>(n) * cfg.intChainLatency
-               : n / cfg.intIssueWidth;
-}
-
-void
-PpcMachine::fpOps(unsigned n, bool dependent)
-{
-    _fpOps += n;
-    now += dependent
-               ? static_cast<double>(n) * cfg.fpChainLatency
-               : n / cfg.fpIssueWidth;
-}
-
-void
-PpcMachine::fpOpsCompiled(unsigned n)
-{
-    _fpOps += n;
-    now += static_cast<double>(n)
-           * (cfg.fpChainLatency + cfg.fpMemOverhead);
-}
-
-void
-PpcMachine::vecOps(unsigned n, bool dependent)
-{
-    _vecOps += n;
-    now += dependent
-               ? static_cast<double>(n) * cfg.vecChainLatency
-               : n / cfg.vecIssueWidth;
-}
-
-void
 PpcMachine::memAccess(Addr addr, bool write, bool charge_hit)
 {
     auto r1 = l1.access(addr, write);
@@ -87,12 +55,25 @@ PpcMachine::memAccess(Addr addr, bool write, bool charge_hit)
         return;
     }
     if (r1.writebackAddr) {
-        // Dirty L1 victim moves into L2 (and possibly onward).
-        auto rwb = l2.access(*r1.writebackAddr, true);
-        if (!rwb.hit && rwb.writebackAddr)
-            fsb.transfer(cfg.lineBytes / 4, static_cast<Cycles>(now));
+        // Dirty L1 victim moves into L2 (and possibly onward). A
+        // way-predicted L2 hit (span mode) has no writeback.
+        if (!(spanMem && l2.accessFast(*r1.writebackAddr, true))) {
+            auto rwb = l2.access(*r1.writebackAddr, true);
+            if (!rwb.hit && rwb.writebackAddr)
+                fsb.transfer(cfg.lineBytes / 4,
+                             static_cast<Cycles>(now));
+        }
     }
 
+    if (spanMem && l2.accessFast(addr, false)) {
+        const double l2Stall =
+            charge_hit ? static_cast<double>(cfg.l2HitCycles)
+                       : static_cast<double>(cfg.storeL2HitCycles);
+        now += l2Stall;
+        account.charge(stats::CycleCategory::CacheStall, l2Stall);
+        _memStall += cfg.l2HitCycles;
+        return;
+    }
     auto r2 = l2.access(addr, false);
     if (r2.hit) {
         const double l2Stall =
@@ -126,34 +107,6 @@ PpcMachine::memAccess(Addr addr, bool write, bool charge_hit)
     }
     account.charge(stats::CycleCategory::DramDma, now - stallFrom);
     _memStall += static_cast<Cycles>(now - stallFrom);
-}
-
-void
-PpcMachine::load(Addr addr)
-{
-    ++_loads;
-    memAccess(addr, false, true);
-}
-
-void
-PpcMachine::store(Addr addr)
-{
-    ++_stores;
-    memAccess(addr, true, false);
-}
-
-void
-PpcMachine::vecLoad(Addr addr)
-{
-    ++_loads;
-    memAccess(addr, false, true);
-}
-
-void
-PpcMachine::vecStore(Addr addr)
-{
-    ++_stores;
-    memAccess(addr, true, false);
 }
 
 Cycles

@@ -36,27 +36,101 @@ class PpcMachine
     // ------------------------------------------------------------
 
     /** @p n integer ops; dependent chains issue one per cycle. */
-    void intOps(unsigned n, bool dependent = false);
+    void
+    intOps(unsigned n, bool dependent = false)
+    {
+        _intOps += n;
+        now += dependent
+                   ? static_cast<double>(n) * cfg.intChainLatency
+                   : n / cfg.intIssueWidth;
+    }
 
     /** @p n scalar FP ops; dependent chains pay the FP latency. */
-    void fpOps(unsigned n, bool dependent = false);
+    void
+    fpOps(unsigned n, bool dependent = false)
+    {
+        _fpOps += n;
+        now += dependent
+                   ? static_cast<double>(n) * cfg.fpChainLatency
+                   : n / cfg.fpIssueWidth;
+    }
 
     /**
      * Scalar FP ops in compiled kernel code whose operands
      * round-trip through memory (adds fpMemOverhead per op).
      */
-    void fpOpsCompiled(unsigned n);
+    void
+    fpOpsCompiled(unsigned n)
+    {
+        _fpOps += n;
+        now += static_cast<double>(n)
+               * (cfg.fpChainLatency + cfg.fpMemOverhead);
+    }
 
     /** @p n AltiVec (4 x 32-bit) vector ops. */
-    void vecOps(unsigned n, bool dependent = false);
+    void
+    vecOps(unsigned n, bool dependent = false)
+    {
+        _vecOps += n;
+        now += dependent
+                   ? static_cast<double>(n) * cfg.vecChainLatency
+                   : n / cfg.vecIssueWidth;
+    }
+
+    // The load/store fast paths live in the header so the span-mode
+    // way-predicted L1 hit — the per-element common case in
+    // streaming kernels — is a handful of inlined instructions;
+    // misses (and reference mode) fall into the out-of-line cache
+    // walk.
 
     /** A 4-byte scalar load / store at @p addr. */
-    void load(Addr addr);
-    void store(Addr addr);
+    void
+    load(Addr addr)
+    {
+        ++_loads;
+        // L1 hit on the set's memoized line: accessFast applies the
+        // exact hit effects (LRU stamp, hit counter), and the hit
+        // charge matches the scan path below.
+        if (spanMem && l1.accessFast(addr, false)) {
+            now += static_cast<double>(cfg.l1HitCycles);
+            return;
+        }
+        memAccess(addr, false, true);
+    }
+
+    void
+    store(Addr addr)
+    {
+        ++_stores;
+        if (spanMem && l1.accessFast(addr, true)) {
+            now += 0.5;
+            return;
+        }
+        memAccess(addr, true, false);
+    }
 
     /** A 16-byte AltiVec load / store at @p addr. */
-    void vecLoad(Addr addr);
-    void vecStore(Addr addr);
+    void
+    vecLoad(Addr addr)
+    {
+        ++_loads;
+        if (spanMem && l1.accessFast(addr, false)) {
+            now += static_cast<double>(cfg.l1HitCycles);
+            return;
+        }
+        memAccess(addr, false, true);
+    }
+
+    void
+    vecStore(Addr addr)
+    {
+        ++_stores;
+        if (spanMem && l1.accessFast(addr, true)) {
+            now += 0.5;
+            return;
+        }
+        memAccess(addr, true, false);
+    }
 
     // ------------------------------------------------------------
     // Timing.
@@ -93,6 +167,8 @@ class PpcMachine
     void memAccess(Addr addr, bool write, bool charge_hit);
 
     PpcConfig cfg;
+    /** Resolved cfg.memModel != Reference, fixed at construction. */
+    bool spanMem;
     mem::SetAssocCache l1;
     mem::SetAssocCache l2;
     mem::BandwidthPort fsb;

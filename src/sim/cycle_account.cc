@@ -176,65 +176,42 @@ CycleAccount::finalizeScaled(std::uint64_t total) const
 }
 
 void
-CycleTimeline::add(CycleCategory c, Cycles start, Cycles end)
-{
-    if (end <= start)
-        return;
-    intervals.push_back({static_cast<unsigned>(c), start, end});
-}
-
-void
 CycleTimeline::clear()
 {
     intervals.clear();
+    lastIdx.fill(SIZE_MAX);
+    recorded = 0;
 }
 
 CycleBreakdown
 CycleTimeline::resolve(std::uint64_t total, CycleCategory gap) const
 {
-    // Sweep over the interval boundaries inside [0, total); between
-    // two consecutive boundaries the covering set is constant, so
-    // the whole segment goes to the best active category.
-    std::vector<std::pair<Cycles, std::array<int, kNumCycleCategories>>>
-        events;
+    // Sweep sorted open/close events; between two consecutive event
+    // positions the covering set is constant, so the whole segment
+    // goes to the best active category. Events pack into one 64-bit
+    // key — (position << 4) | (category << 1) | is_close — so the
+    // sort runs over flat integers (positions stay far below 2^60;
+    // the order of same-position events is irrelevant because every
+    // event at a position applies before the next segment is
+    // credited).
+    std::vector<std::uint64_t> events;
     events.reserve(intervals.size() * 2);
-
-    std::vector<Cycles> bounds;
-    bounds.reserve(intervals.size() * 2 + 2);
-    bounds.push_back(0);
-    bounds.push_back(total);
-    for (const Interval &iv : intervals) {
-        bounds.push_back(std::min<Cycles>(iv.start, total));
-        bounds.push_back(std::min<Cycles>(iv.end, total));
-    }
-    std::sort(bounds.begin(), bounds.end());
-    bounds.erase(std::unique(bounds.begin(), bounds.end()),
-                 bounds.end());
-
-    // Per-boundary activation deltas for each category.
-    std::vector<std::array<std::int64_t, kNumCycleCategories>> delta(
-        bounds.size(), std::array<std::int64_t, kNumCycleCategories>{});
-    auto boundIndex = [&](Cycles c) {
-        return static_cast<std::size_t>(
-            std::lower_bound(bounds.begin(), bounds.end(), c)
-            - bounds.begin());
-    };
     for (const Interval &iv : intervals) {
         const Cycles s = std::min<Cycles>(iv.start, total);
         const Cycles e = std::min<Cycles>(iv.end, total);
         if (e <= s)
             continue;
-        ++delta[boundIndex(s)][iv.cat];
-        --delta[boundIndex(e)][iv.cat];
+        events.push_back((s << 4) | (iv.cat << 1));
+        events.push_back((e << 4) | (iv.cat << 1) | 1);
     }
+    std::sort(events.begin(), events.end());
 
     CycleBreakdown b;
     b.total = total;
     std::array<std::int64_t, kNumCycleCategories> active{};
-    for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
-        for (unsigned c = 0; c < kNumCycleCategories; ++c)
-            active[c] += delta[i][c];
-        const std::uint64_t span = bounds[i + 1] - bounds[i];
+    auto credit = [&](Cycles from, Cycles to) {
+        if (to <= from)
+            return;
         unsigned winner = static_cast<unsigned>(gap);
         for (unsigned c = 0; c < kNumCycleCategories; ++c) {
             if (active[c] > 0) {
@@ -242,8 +219,22 @@ CycleTimeline::resolve(std::uint64_t total, CycleCategory gap) const
                 break;
             }
         }
-        b.cycles[winner] += span;
+        b.cycles[winner] += to - from;
+    };
+
+    Cycles prev = 0;
+    std::size_t i = 0;
+    while (i < events.size()) {
+        const Cycles pos = events[i] >> 4;
+        credit(prev, pos);
+        while (i < events.size() && (events[i] >> 4) == pos) {
+            const unsigned cat = (events[i] >> 1) & 0x7;
+            active[cat] += (events[i] & 1) ? -1 : 1;
+            ++i;
+        }
+        prev = pos;
     }
+    credit(prev, total);
     triarch_assert(b.categorySum() == b.total,
                    "timeline resolution does not sum to total");
     return b;

@@ -27,7 +27,9 @@
 #ifndef TRIARCH_SIM_CYCLE_ACCOUNT_HH
 #define TRIARCH_SIM_CYCLE_ACCOUNT_HH
 
+#include <algorithm>
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -147,11 +149,37 @@ class CycleTimeline
   public:
     /** Record that @p c was active over [start, end). Empty or
      *  inverted intervals are ignored. */
-    void add(CycleCategory c, Cycles start, Cycles end);
+    void
+    add(CycleCategory c, Cycles start, Cycles end)
+    {
+        if (end <= start)
+            return;
+        ++recorded;
+        // Coalesce with the category's most recent interval when the
+        // two overlap or abut: the stored union covers exactly the
+        // same cycles, so resolve() — which only depends on each
+        // category's coverage set — is unchanged, while scoreboard
+        // models that charge long runs of adjacent busy intervals
+        // (VIRAM vector memory, Imagine stream bursts) collapse to a
+        // handful of stored intervals.
+        const auto cat = static_cast<unsigned>(c);
+        const std::size_t li = lastIdx[cat];
+        if (li != SIZE_MAX) {
+            Interval &iv = intervals[li];
+            if (start <= iv.end && end >= iv.start) {
+                iv.start = std::min(iv.start, start);
+                iv.end = std::max(iv.end, end);
+                return;
+            }
+        }
+        intervals.push_back({cat, start, end});
+        lastIdx[cat] = intervals.size() - 1;
+    }
 
     void clear();
 
-    std::size_t size() const { return intervals.size(); }
+    /** Number of (non-empty) recorded intervals, pre-coalescing. */
+    std::size_t size() const { return recorded; }
 
     /** Resolve to an exact integer partition of [0, total). */
     CycleBreakdown resolve(std::uint64_t total,
@@ -166,6 +194,9 @@ class CycleTimeline
     };
 
     std::vector<Interval> intervals;
+    std::array<std::size_t, kNumCycleCategories> lastIdx{
+        SIZE_MAX, SIZE_MAX, SIZE_MAX, SIZE_MAX, SIZE_MAX};
+    std::size_t recorded = 0;
 };
 
 /**

@@ -11,7 +11,10 @@ namespace triarch::viram
 {
 
 ViramMachine::ViramMachine(const ViramConfig &machine_config)
-    : cfg(machine_config), dram(cfg.memBytes + cfg.offchipBytes, 0),
+    : cfg(machine_config),
+      spanMem(mem::resolveMemModel(cfg.memModel)
+              != mem::MemModel::Reference),
+      dram(cfg.memBytes + cfg.offchipBytes),
       vregs(cfg.numVregs, std::vector<Word>(cfg.maxVl, 0)),
       curVl(cfg.maxVl), regReady(cfg.numVregs, 0),
       openRow(cfg.banks, ~Addr{0}),
@@ -21,6 +24,13 @@ ViramMachine::ViramMachine(const ViramConfig &machine_config)
 {
     triarch_assert(cfg.lanes > 0 && cfg.maxVl % cfg.lanes == 0,
                    "maxVl must be a multiple of the lane count");
+    if (isPowerOf2(cfg.bankInterleaveBytes) && isPowerOf2(cfg.banks)
+        && isPowerOf2(cfg.rowBytes)) {
+        geomPow2 = true;
+        ilvShift = floorLog2(cfg.bankInterleaveBytes);
+        bankShift = floorLog2(cfg.banks);
+        rowShift = floorLog2(cfg.rowBytes);
+    }
     group.addScalar("vector_insts", &_vinsts, "vector instructions");
     group.addScalar("scalar_cycles", &_scalarCycles,
                     "scalar bookkeeping cycles");
@@ -154,11 +164,7 @@ ViramMachine::memAccessCyclesIndexed(std::span<const Addr> addrs)
     std::uint64_t misses = 0;
     Cycles tlbPenalty = 0;
     for (Addr a : addrs) {
-        const unsigned bank =
-            (a / cfg.bankInterleaveBytes) % cfg.banks;
-        const Addr chunk = a / cfg.bankInterleaveBytes;
-        const Addr row = (chunk / cfg.banks) * cfg.bankInterleaveBytes
-                         / cfg.rowBytes;
+        const auto [bank, row] = bankRowOf(a);
         if (openRow[bank] != row) {
             openRow[bank] = row;
             ++misses;
@@ -193,21 +199,56 @@ ViramMachine::memAccessCycles(Addr addr, Addr stride_bytes, bool unit)
         unit ? cfg.unitStrideWords : cfg.addrGens;
     Cycles cycles = ceilDiv(curVl, throughput);
 
-    // Walk the bank open-row state and the TLB for each element.
     std::uint64_t misses = 0;
     Cycles tlbPenalty = 0;
-    for (unsigned i = 0; i < curVl; ++i) {
-        const Addr a = addr + static_cast<Addr>(i) * stride_bytes;
-        const unsigned bank =
-            (a / cfg.bankInterleaveBytes) % cfg.banks;
-        const Addr chunk = a / cfg.bankInterleaveBytes;
-        const Addr row = (chunk / cfg.banks) * cfg.bankInterleaveBytes
-                         / cfg.rowBytes;
-        if (openRow[bank] != row) {
-            openRow[bank] = row;
-            ++misses;
+    if (spanMem) {
+        // Span walk (D13): the bank and row of an element depend
+        // only on its interleave chunk, so only the first element of
+        // each chunk run can change the open-row state; likewise a
+        // TLB run covers every element on one page in one probe.
+        // The bank state and the TLB are independent structures, so
+        // splitting the element sequence into two run walks leaves
+        // both (and all counters) exactly as the interleaved
+        // per-element walk would.
+        const Addr ilv = cfg.bankInterleaveBytes;
+        for (unsigned i = 0; i < curVl;) {
+            const Addr a = addr + static_cast<Addr>(i) * stride_bytes;
+            const auto [bank, row] = bankRowOf(a);
+            if (openRow[bank] != row) {
+                openRow[bank] = row;
+                ++misses;
+            }
+            if (stride_bytes == 0)
+                break;
+            const Addr off = geomPow2 ? a & (ilv - 1) : a % ilv;
+            const Addr left = ilv - 1 - off;
+            const std::uint64_t run = 1 + left / stride_bytes;
+            i += static_cast<unsigned>(
+                std::min<std::uint64_t>(run, curVl - i));
         }
-        tlbPenalty += tlb.access(a);
+        for (unsigned i = 0; i < curVl;) {
+            const Addr a = addr + static_cast<Addr>(i) * stride_bytes;
+            std::uint64_t run = curVl - i;
+            if (stride_bytes != 0) {
+                const Addr left = cfg.pageBytes - 1 - a % cfg.pageBytes;
+                run = std::min<std::uint64_t>(run,
+                                              1 + left / stride_bytes);
+            }
+            tlbPenalty += tlb.accessRun(a, run);
+            i += static_cast<unsigned>(run);
+        }
+    } else {
+        // Reference: walk the bank open-row state and the TLB for
+        // each element.
+        for (unsigned i = 0; i < curVl; ++i) {
+            const Addr a = addr + static_cast<Addr>(i) * stride_bytes;
+            const auto [bank, row] = bankRowOf(a);
+            if (openRow[bank] != row) {
+                openRow[bank] = row;
+                ++misses;
+            }
+            tlbPenalty += tlb.access(a);
+        }
     }
 
     // Row misses across banks overlap with transfers; only the

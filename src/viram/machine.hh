@@ -34,6 +34,7 @@
 #include "sim/host_clock.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "sim/zero_buffer.hh"
 #include "viram/config.hh"
 
 namespace triarch::viram
@@ -205,9 +206,11 @@ class ViramMachine
     void checkAddr(Addr addr, std::uint64_t bytes) const;
 
     ViramConfig cfg;
+    /** Resolved cfg.memModel != Reference, fixed at construction. */
+    bool spanMem;
 
     // Functional state.
-    std::vector<std::uint8_t> dram;
+    ZeroBuffer dram;
     std::vector<std::vector<Word>> vregs;
     unsigned curVl;
     Addr allocNext = 64;
@@ -221,6 +224,37 @@ class ViramMachine
     // DRAM open-row state (banks) and TLB.
     std::vector<Addr> openRow;
     mem::Tlb tlb;
+
+    /** Pow2 geometry fast form: when the bank interleave, bank
+     *  count, and row size are all powers of two, the bank and row
+     *  of an element reduce to shifts and masks, replacing three
+     *  64-bit divisions on every element of a bank walk (the same
+     *  shift arithmetic feeds both the reference and span walks, so
+     *  the classification is bit-identical either way). False keeps
+     *  the division path for odd fuzz geometries. */
+    bool geomPow2 = false;
+    unsigned ilvShift = 0;      //!< log2(bankInterleaveBytes)
+    unsigned bankShift = 0;     //!< log2(banks)
+    unsigned rowShift = 0;      //!< log2(rowBytes)
+
+    /** Bank and DRAM row of an address, shift form when possible. */
+    std::pair<unsigned, Addr>
+    bankRowOf(Addr a) const
+    {
+        if (geomPow2) [[likely]] {
+            const Addr chunk = a >> ilvShift;
+            const unsigned bank = static_cast<unsigned>(
+                chunk & (cfg.banks - 1));
+            const Addr row =
+                ((chunk >> bankShift) << ilvShift) >> rowShift;
+            return {bank, row};
+        }
+        const Addr chunk = a / cfg.bankInterleaveBytes;
+        const unsigned bank = static_cast<unsigned>(chunk % cfg.banks);
+        const Addr row =
+            (chunk / cfg.banks) * cfg.bankInterleaveBytes / cfg.rowBytes;
+        return {bank, row};
+    }
 
     // Busy intervals for the wall-clock cycle account.
     stats::CycleTimeline timeline;
