@@ -1,12 +1,17 @@
 #include "bench_main.hh"
 
+#include <fstream>
 #include <iostream>
 
+#include "mem/mem_mode.hh"
+#include "raw/config.hh"
 #include "sim/host_clock.hh"
+#include "sim/hw_report.hh"
 #include "sim/metrics.hh"
 #include "sim/trace.hh"
 #include "study/cli_options.hh"
 #include "study/registry.hh"
+#include "study/study_json.hh"
 
 namespace triarch::bench
 {
@@ -121,9 +126,15 @@ benchMain(int argc, char **argv, const char *description,
 
     cli.value("--machines", "a,b,...",
               "platforms to run "
-              "(ppc, altivec, viram, imagine, raw; default all)",
+              "(ppc, altivec, viram, imagine, raw, or all; "
+              "default all)",
               [&](const std::string &v) {
                   for (const std::string &tok : study::splitList(v)) {
+                      if (study::lowered(tok) == "all") {
+                          for (MachineId id : study::allMachines())
+                              opts.machines.push_back(id);
+                          continue;
+                      }
                       MachineId id;
                       if (!parseMachine(tok, id)) {
                           std::cerr << cli.prog()
@@ -136,9 +147,14 @@ benchMain(int argc, char **argv, const char *description,
                   return 0;
               });
     cli.value("--kernels", "a,b,...",
-              "kernels to run (ct, cslc, bs; default all)",
+              "kernels to run (ct, cslc, bs, or all; default all)",
               [&](const std::string &v) {
                   for (const std::string &tok : study::splitList(v)) {
+                      if (study::lowered(tok) == "all") {
+                          for (KernelId id : study::allKernels())
+                              opts.kernels.push_back(id);
+                          continue;
+                      }
                       KernelId id;
                       if (!parseKernel(tok, id)) {
                           std::cerr << cli.prog()
@@ -189,6 +205,49 @@ benchMain(int argc, char **argv, const char *description,
                   opts.statsPath = v;
                   return 0;
               });
+    cli.value("--hw", "PATH",
+              "write a triarch.hw.v1 per-cell utilization report "
+              "(hit rates, epoch timelines, bottleneck verdicts)",
+              [&](const std::string &v) {
+                  opts.hwPath = v;
+                  return 0;
+              });
+    cli.value("--mem-model", "MODE",
+              "PPC/VIRAM/Imagine memory walk: span (default, batched "
+              "D13 fast path) or reference (word-at-a-time baseline)",
+              [&](const std::string &v) {
+                  if (v == "span") {
+                      mem::setDefaultMemModel(mem::MemModel::Span);
+                  } else if (v == "reference") {
+                      mem::setDefaultMemModel(
+                          mem::MemModel::Reference);
+                  } else {
+                      std::cerr << cli.prog()
+                                << ": --mem-model wants span or "
+                                   "reference, got '"
+                                << v << "'\n";
+                      return 2;
+                  }
+                  return 0;
+              });
+    cli.value("--raw-stepper", "MODE",
+              "Raw interpreter loop: event (default) or reference "
+              "(the cycle-at-a-time differential baseline)",
+              [&](const std::string &v) {
+                  if (v == "event") {
+                      raw::setDefaultRawStepper(raw::RawStepper::Event);
+                  } else if (v == "reference") {
+                      raw::setDefaultRawStepper(
+                          raw::RawStepper::Reference);
+                  } else {
+                      std::cerr << cli.prog()
+                                << ": --raw-stepper wants event or "
+                                   "reference, got '"
+                                << v << "'\n";
+                      return 2;
+                  }
+                  return 0;
+              });
     cli.toggle("--host-stats",
                "record host-time histograms (wall clock) into the "
                "--stats document",
@@ -232,6 +291,7 @@ benchMain(int argc, char **argv, const char *description,
     study::ensureParentDir("--json", opts.jsonPath, prog);
     study::ensureParentDir("--trace", opts.tracePath, prog);
     study::ensureParentDir("--stats", opts.statsPath, prog);
+    study::ensureParentDir("--hw", opts.hwPath, prog);
 
     if (opts.hostStats)
         host::setProfiling(true);
@@ -256,6 +316,23 @@ benchMain(int argc, char **argv, const char *description,
             ctx.sink().writeJsonFile(opts.jsonPath);
             std::cout << "\nresults written to " << opts.jsonPath
                       << "\n";
+        }
+        if (rc == 0 && !opts.hwPath.empty()) {
+            // Snapshot of every cell the body ran; label-sorted, so
+            // the bytes are independent of threads and run order.
+            const hw::HwReport report = hw::HwRegistry::global().report(
+                study::studyConfigHashHex(ctx.config()));
+            std::ofstream os(opts.hwPath,
+                             std::ios::binary | std::ios::trunc);
+            writeHwReport(os, report);
+            if (!os) {
+                std::cerr << prog << ": cannot write " << opts.hwPath
+                          << "\n";
+                rc = 1;
+            } else {
+                std::cout << "hw report written to " << opts.hwPath
+                          << "\n";
+            }
         }
     }
 

@@ -16,6 +16,9 @@
  *   --csv               machine-readable table output where supported
  *   --trace PATH        write a Chrome trace-event JSON timeline
  *   --stats PATH        write a triarch.stats.v1 counters document
+ *   --hw PATH           write a triarch.hw.v1 utilization report
+ *   --mem-model MODE    span (default) or reference memory walk
+ *   --raw-stepper MODE  event (default) or reference Raw stepper
  *   --host-stats        record host-time histograms into --stats
  *   --host              emit a bench host section where supported
  *   --host-warmup N     unmeasured host iterations per cell
@@ -50,6 +53,7 @@ struct BenchOptions
     std::string jsonPath;                    //!< empty = no JSON
     std::string tracePath;                   //!< empty = no tracing
     std::string statsPath;                   //!< empty = no stats doc
+    std::string hwPath;                      //!< empty = no hw report
     bool csv = false;
 
     /** --host-stats: gate host-time histograms on process-wide. */

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bottleneck-attribution explainer: runs the selected Table-3 cells
+ * and prints, for each, which hardware component the cycles point at
+ * and the utilization numbers behind the verdict ("viram/ct: bound
+ * by DRAM row misses, row miss rate 0.31, vmu util 0.87"). The
+ * verdict is cross-checked against the D9 cycle partition — the
+ * document is rendered and re-parsed through the validating
+ * triarch.hw.v1 parser before anything is printed, so an
+ * inconsistent attribution is a hard failure, not a wrong line.
+ *
+ * --hw PATH (harness flag) writes the same cells as a triarch.hw.v1
+ * document; --csv prints one machine,kernel,category,component row
+ * per cell for scripts.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_main.hh"
+#include "sim/hw_report.hh"
+#include "study/study_json.hh"
+
+using namespace triarch;
+
+namespace
+{
+
+int
+run(bench::BenchContext &ctx)
+{
+    ctx.results();
+
+    const hw::HwReport report = hw::HwRegistry::global().report(
+        study::studyConfigHashHex(ctx.config()));
+
+    // The parser enforces the semantic invariants (rates in [0, 1],
+    // verdict category == dominant D9 category, component consistent
+    // with the category); round-tripping here turns a bad
+    // attribution into an explicit failure.
+    std::string error;
+    const auto checked =
+        hw::parseHwReport(hw::renderHwReport(report), &error);
+    if (!checked || !(*checked == report)) {
+        std::cerr << "explain: hw report failed validation: "
+                  << (error.empty() ? "round trip mismatch" : error)
+                  << "\n";
+        return 1;
+    }
+
+    if (ctx.options().csv) {
+        std::cout << "machine,kernel,category,component\n";
+        for (const hw::HwCell &cell : report.cells) {
+            std::cout << cell.machine << "," << cell.kernel << ","
+                      << stats::cycleCategoryToken(
+                             cell.verdict.category)
+                      << "," << cell.verdict.component << "\n";
+        }
+        return 0;
+    }
+
+    for (const hw::HwCell &cell : report.cells) {
+        std::cout << cell.machine << "/" << cell.kernel << ": "
+                  << cell.verdict.detail << "\n";
+        std::cout << "    cycles " << cell.cycles << ", dominant "
+                  << stats::cycleCategoryToken(cell.verdict.category)
+                  << " "
+                  << hw::fmt2(cell.breakdown.fraction(
+                         cell.verdict.category))
+                  << " [" << cell.verdict.component << "], "
+                  << cell.timeline.epochs() << " epochs of "
+                  << cell.timeline.epochCycles << " cycles\n";
+        for (const hw::HwMetric &metric : cell.metrics) {
+            std::cout << "    " << std::left << std::setw(24)
+                      << metric.name << hw::fmt2(metric.value)
+                      << (metric.rate ? "" : " (per cycle)") << "\n";
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+TRIARCH_BENCH_MAIN("per-cell bottleneck verdicts from the hardware "
+                   "utilization counters",
+                   run)

@@ -10,7 +10,9 @@
  * measured ones, optional --pin core pinning, robust statistics.
  * Default output is a human-readable table; --json emits the full
  * triarch.bench.v1 document (simulated cycles + host section) on
- * stdout, the same shape perf_report --host writes.
+ * stdout, the same shape perf_report --host writes. With --grid,
+ * --json instead emits a triarch.grid.v1 throughput summary
+ * (cells/sec per machine row + total) that CI field-checks.
  *
  * Flags parse via the shared study::CliOptions (exit 2 on a bad
  * flag, like every other gate-style tool here).
@@ -25,6 +27,7 @@
 #include "mem/mem_mode.hh"
 #include "raw/config.hh"
 #include "sim/host_clock.hh"
+#include "sim/json.hh"
 #include "study/bench_report.hh"
 #include "study/cli_options.hh"
 #include "study/host_measure.hh"
@@ -89,7 +92,9 @@ main(int argc, char **argv)
               });
     cli.toggle("--grid",
                "print only the one-line grid summary (median sum and "
-               "cells/sec) — the CI throughput check",
+               "cells/sec) — the CI throughput check; with --json, a "
+               "triarch.grid.v1 document (per-machine rows + total) "
+               "instead of the one-liner",
                [&]() {
                    gridOnly = true;
                    return 0;
@@ -164,6 +169,56 @@ main(int argc, char **argv)
     }
     const HostSection host = measureHostSection(cfg, cells, mo);
 
+    if (gridOnly) {
+        double sumNs = 0.0;
+        for (const HostCellTiming &cell : host.cells)
+            sumNs += cell.medianNs;
+        if (json) {
+            // Machine-readable grid summary so CI can field-check
+            // instead of grepping the one-line text. Rows follow
+            // allMachines() order, restricted to what was measured.
+            json::Writer w(std::cout);
+            w.beginObject(json::Writer::Style::Pretty);
+            w.member("schema", "triarch.grid.v1");
+            w.member("seed", seed);
+            w.member("cells",
+                     static_cast<std::uint64_t>(host.cells.size()));
+            w.key("rows").beginArray();
+            for (MachineId machine : allMachines()) {
+                double rowNs = 0.0;
+                std::uint64_t rowCells = 0;
+                for (const HostCellTiming &cell : host.cells) {
+                    if (cell.machine != machine)
+                        continue;
+                    rowNs += cell.medianNs;
+                    ++rowCells;
+                }
+                if (rowCells == 0)
+                    continue;
+                w.beginObject();
+                w.member("machine", machineToken(machine));
+                w.member("cells", rowCells);
+                w.member("median_sum_ms", rowNs / 1e6);
+                w.member("cells_per_sec",
+                         rowNs > 0.0 ? static_cast<double>(rowCells)
+                                           / (rowNs / 1e9)
+                                     : 0.0);
+                w.endObject();
+            }
+            w.endArray();
+            w.member("median_sum_ms", sumNs / 1e6);
+            w.member("cells_per_sec", host.cellsPerSec);
+            w.endObject();
+            w.finish();
+            std::cout << "\n";
+            return 0;
+        }
+        std::printf("grid %zu cells, median sum %.1f ms, "
+                    "%.2f cells/sec\n",
+                    host.cells.size(), sumNs / 1e6, host.cellsPerSec);
+        return 0;
+    }
+
     if (json) {
         // One simulated run per cell for the cycle half of the
         // document (cache-backed; the host section above measured
@@ -172,16 +227,6 @@ main(int argc, char **argv)
         BenchReport report = buildBenchReport(cfg, runner.runCells(cells));
         report.host = host;
         writeBenchReportJson(report, std::cout);
-        return 0;
-    }
-
-    if (gridOnly) {
-        double sumNs = 0.0;
-        for (const HostCellTiming &cell : host.cells)
-            sumNs += cell.medianNs;
-        std::printf("grid %zu cells, median sum %.1f ms, "
-                    "%.2f cells/sec\n",
-                    host.cells.size(), sumNs / 1e6, host.cellsPerSec);
         return 0;
     }
 

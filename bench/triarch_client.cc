@@ -15,6 +15,11 @@
  * pretty-prints the daemon's live triarch.stats.v1 snapshot —
  * counters, gauges (uptime, queue depth), and the host-time latency
  * histograms as count/median/P95 one-liners.
+ *
+ * --hwz likewise sends a "hw" request and prints the daemon's
+ * triarch.hw.v1 hardware-utilization report as per-cell bottleneck
+ * verdict lines; the reply goes through the validating parser, so a
+ * malformed or inconsistent report fails the command.
  */
 
 #include <iomanip>
@@ -23,6 +28,7 @@
 #include <optional>
 
 #include "serve/client.hh"
+#include "sim/hw_report.hh"
 #include "sim/json.hh"
 #include "study/cli_options.hh"
 #include "study/machine_info.hh"
@@ -94,6 +100,37 @@ printStatsSnapshot(const std::string &stats_json, const char *prog)
     return 0;
 }
 
+/**
+ * Print one triarch.hw.v1 report as per-cell verdict lines. The text
+ * goes through the validating parser first, so an inconsistent
+ * report (bad rates, verdict contradicting the cycle partition) is
+ * an error, not output. Returns 0, or 1 when validation fails.
+ */
+int
+printHwReport(const std::string &hw_json, const char *prog)
+{
+    std::string error;
+    const auto report = triarch::hw::parseHwReport(hw_json, &error);
+    if (!report) {
+        std::cerr << prog << ": bad hw report: " << error << "\n";
+        return 1;
+    }
+    if (report->cells.empty()) {
+        std::cout << "hw report is empty (the daemon has not "
+                     "executed any cells yet)\n";
+        return 0;
+    }
+    for (const triarch::hw::HwCell &cell : report->cells) {
+        std::cout << cell.machine << "/" << cell.kernel << ": "
+                  << cell.verdict.detail << " ["
+                  << cell.verdict.component << ", "
+                  << triarch::stats::cycleCategoryToken(
+                         cell.verdict.category)
+                  << "]\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -110,6 +147,7 @@ main(int argc, char **argv)
     std::string jsonPath;
     bool verify = false;
     bool statsz = false;
+    bool hwz = false;
     std::uint64_t minCacheHits = 0;
 
     study::CliOptions cli(
@@ -188,6 +226,14 @@ main(int argc, char **argv)
                    statsz = true;
                    return 0;
                });
+    cli.toggle("--hwz",
+               "fetch the daemon's triarch.hw.v1 hardware report and "
+               "print per-cell bottleneck verdicts instead of "
+               "running a sweep",
+               [&]() {
+                   hwz = true;
+                   return 0;
+               });
     cli.number("--min-cache-hits", "N",
                "fail unless the daemon served >= N cells from cache",
                std::numeric_limits<std::uint64_t>::max(),
@@ -248,6 +294,25 @@ main(int argc, char **argv)
             return 1;
         }
         return printStatsSnapshot(reply->statsJson, prog);
+    }
+
+    if (hwz) {
+        serve::JobRequest probe;
+        probe.id = jobId;
+        probe.kind = serve::RequestKind::Hw;
+        const auto reply = client.call(probe, &error);
+        if (!reply) {
+            std::cerr << prog << ": " << error << "\n";
+            return 1;
+        }
+        if (!reply->ok()) {
+            std::cerr
+                << prog << ": daemon refused hw request: "
+                << serve::jobErrorCodeToken(reply->error->code)
+                << ": " << reply->error->message << "\n";
+            return 1;
+        }
+        return printHwReport(reply->hwJson, prog);
     }
 
     const auto response = client.call(request, &error);

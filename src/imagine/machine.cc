@@ -202,6 +202,7 @@ ImagineMachine::loadStream(const StreamRef &ref,
     inflight.push_back(finish);
     lastFinish = std::max(lastFinish, finish);
     timeline.add(stats::CycleCategory::DramDma, start, finish);
+    hwSamp.addRange(1, start, finish);
     _memBusy += finish - start;
     _memWords += pattern.totalWords();
     ++_streamOps;
@@ -259,6 +260,7 @@ ImagineMachine::storeStream(const StreamRef &ref,
     inflight.push_back(finish);
     lastFinish = std::max(lastFinish, finish);
     timeline.add(stats::CycleCategory::DramDma, start, finish);
+    hwSamp.addRange(1, start, finish);
     _memBusy += finish - start;
     _memWords += pattern.totalWords();
     ++_streamOps;
@@ -312,6 +314,7 @@ ImagineMachine::runKernel(const KernelDesc &desc,
     lastFinish = std::max(lastFinish, finish);
 
     timeline.add(stats::CycleCategory::Compute, start, finish);
+    hwSamp.addRange(0, start, finish);
     _clusterBusy += busy;
     _avgKernelIi.sample(static_cast<double>(ii));
     _usefulFlops += desc.usefulFlops;
@@ -335,6 +338,104 @@ ImagineMachine::cycleBreakdown(Cycles total)
     return b;
 }
 
+std::vector<std::pair<std::string, stats::StatGroup *>>
+ImagineMachine::componentGroups()
+{
+    std::vector<std::pair<std::string, stats::StatGroup *>> out;
+    for (unsigned e = 0; e < channels.size(); ++e)
+        out.emplace_back("dram" + std::to_string(e),
+                         &channels[e]->statGroup());
+    return out;
+}
+
+hw::HwCell
+ImagineMachine::hwCell(Cycles total,
+                       const stats::CycleBreakdown &breakdown)
+{
+    std::uint64_t rowHits = 0, rowMisses = 0, transfer = 0;
+    for (const auto &ch : channels) {
+        rowHits += ch->rowHits();
+        rowMisses += ch->rowMisses();
+        transfer += ch->transferCycles();
+    }
+    const std::uint64_t rowTotal = rowHits + rowMisses;
+    const double rowHitRate =
+        rowTotal ? static_cast<double>(rowHits) / rowTotal : 0.0;
+    const double engineCap =
+        static_cast<double>(total) * cfg.memEngines;
+    const double busUtil =
+        total ? std::min(1.0, static_cast<double>(transfer) / engineCap)
+              : 0.0;
+    const double streamOcc = memoryFraction();
+    const double aluUtil = std::min(1.0, aluUtilization());
+    const double clusterOcc =
+        total ? std::min(1.0, static_cast<double>(_clusterBusy.value())
+                                  / static_cast<double>(total))
+              : 0.0;
+
+    hw::HwCell cell;
+    cell.cycles = total;
+    cell.breakdown = breakdown;
+    cell.metrics = {
+        {"alu_utilization", aluUtil, true},
+        {"cluster_occupancy", clusterOcc, true},
+        {"dram_row_hit_rate", rowHitRate, true},
+        {"bus_utilization", busUtil, true},
+        {"stream_op_occupancy", streamOcc, true},
+        {"mem_words_per_cycle",
+         total ? static_cast<double>(_memWords.value())
+                     / static_cast<double>(total)
+               : 0.0,
+         false},
+    };
+
+    cell.verdict.category = hw::dominantCategory(breakdown);
+    switch (cell.verdict.category) {
+      case stats::CycleCategory::Compute:
+        cell.verdict.component = "cluster";
+        cell.verdict.detail = "bound by the cluster array, alu util "
+                              + hw::fmt2(aluUtil) + ", occupancy "
+                              + hw::fmt2(clusterOcc);
+        break;
+      case stats::CycleCategory::CacheStall:
+        // Structurally unreachable: stream mode has no cache.
+        cell.verdict.component = "dcache";
+        cell.verdict.detail = "unexpected cache stalls";
+        break;
+      case stats::CycleCategory::DramDma:
+        // Within the memory category, blame the SDRAM banks when row
+        // misses dominate the access mix, else the stream engines.
+        if (rowMisses >= rowHits) {
+            cell.verdict.component = "dram";
+            cell.verdict.detail = "bound by SDRAM row misses, "
+                                  "row-hit "
+                                  + hw::fmt2(rowHitRate)
+                                  + ", bus util " + hw::fmt2(busUtil);
+        } else {
+            cell.verdict.component = "stream";
+            cell.verdict.detail = "bound by stream transfers, "
+                                  "bus util "
+                                  + hw::fmt2(busUtil) + ", row-hit "
+                                  + hw::fmt2(rowHitRate);
+        }
+        break;
+      case stats::CycleCategory::NetworkSync:
+        cell.verdict.component = "network";
+        cell.verdict.detail =
+            "stream-readiness/descriptor waits dominate, "
+            "desc stalls "
+            + std::to_string(_descStalls.value());
+        break;
+      case stats::CycleCategory::SetupReadback:
+        cell.verdict.component = "host";
+        cell.verdict.detail = "host issue overhead dominates";
+        break;
+    }
+
+    cell.timeline = hwSamp.finalize(completionTime());
+    return cell;
+}
+
 void
 ImagineMachine::resetTiming()
 {
@@ -347,7 +448,10 @@ ImagineMachine::resetTiming()
     inflight.clear();
     lastFinish = 0;
     timeline.clear();
+    hwSamp.reset();
     group.resetAll();
+    for (auto &ch : channels)
+        ch->statGroup().resetAll();
 }
 
 double

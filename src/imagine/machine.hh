@@ -22,6 +22,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "imagine/config.hh"
@@ -30,6 +31,7 @@
 #include "sim/cycle_account.hh"
 #include "sim/zero_buffer.hh"
 #include "sim/host_clock.hh"
+#include "sim/hw_report.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -150,6 +152,22 @@ class ImagineMachine
 
     stats::StatGroup &statGroup() { return group; }
 
+    /** The component StatGroups (one per SDRAM channel) behind the
+     *  main group, as (label-suffix, group) pairs for per-cell
+     *  capture. */
+    std::vector<std::pair<std::string, stats::StatGroup *>>
+    componentGroups();
+
+    /**
+     * Roll the cluster/stream-engine counters into the cell's
+     * hardware report: ALU utilization, DRAM row-hit rate, bus
+     * utilization, stream-op occupancy, the busy epoch timeline, and
+     * a bottleneck verdict consistent with @p breakdown
+     * (hw_report.hh, D14).
+     */
+    hw::HwCell hwCell(Cycles total,
+                      const stats::CycleBreakdown &breakdown);
+
     /** Where the registry mapping samples this cell's coarse
      *  setup/run/readback host-time split (profiling-gated). */
     host::HostPhases &hostTime() { return hostPhases; }
@@ -197,6 +215,12 @@ class ImagineMachine
 
     // Busy intervals for the wall-clock cycle account.
     stats::CycleTimeline timeline;
+
+    /** Epoch channels sampled over the cluster-array and
+     *  stream-engine busy windows. The transfer windows come from
+     *  DramModel, whose span path is bit-identical to the reference
+     *  walk (D13), so the timeline is mode-identical. */
+    hw::EpochSampler hwSamp{{"cluster_busy", "mem_busy"}};
 
     // Statistics.
     stats::StatGroup group;

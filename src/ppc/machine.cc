@@ -54,6 +54,10 @@ PpcMachine::memAccess(Addr addr, bool write, bool charge_hit)
         now += charge_hit ? static_cast<double>(cfg.l1HitCycles) : 0.5;
         return;
     }
+    // Both memory models reach this point for exactly the same
+    // accesses at the same `now` (accessFast only filters true
+    // hits), so the epoch samples are mode-identical.
+    hwSamp.addAt(0, static_cast<Cycles>(now));
     if (r1.writebackAddr) {
         // Dirty L1 victim moves into L2 (and possibly onward). A
         // way-predicted L2 hit (span mode) has no writeback.
@@ -69,6 +73,8 @@ PpcMachine::memAccess(Addr addr, bool write, bool charge_hit)
         const double l2Stall =
             charge_hit ? static_cast<double>(cfg.l2HitCycles)
                        : static_cast<double>(cfg.storeL2HitCycles);
+        hwSamp.addRange(1, static_cast<Cycles>(now),
+                        static_cast<Cycles>(now + l2Stall));
         now += l2Stall;
         account.charge(stats::CycleCategory::CacheStall, l2Stall);
         _memStall += cfg.l2HitCycles;
@@ -79,6 +85,8 @@ PpcMachine::memAccess(Addr addr, bool write, bool charge_hit)
         const double l2Stall =
             charge_hit ? static_cast<double>(cfg.l2HitCycles)
                        : static_cast<double>(cfg.storeL2HitCycles);
+        hwSamp.addRange(1, static_cast<Cycles>(now),
+                        static_cast<Cycles>(now + l2Stall));
         now += l2Stall;
         account.charge(stats::CycleCategory::CacheStall, l2Stall);
         _memStall += cfg.l2HitCycles;
@@ -107,6 +115,8 @@ PpcMachine::memAccess(Addr addr, bool write, bool charge_hit)
     }
     account.charge(stats::CycleCategory::DramDma, now - stallFrom);
     _memStall += static_cast<Cycles>(now - stallFrom);
+    hwSamp.addRange(2, static_cast<Cycles>(stallFrom),
+                    static_cast<Cycles>(now));
 }
 
 Cycles
@@ -124,11 +134,78 @@ PpcMachine::cycleBreakdown(Cycles total)
     return b;
 }
 
+hw::HwCell
+PpcMachine::hwCell(Cycles total, const stats::CycleBreakdown &breakdown)
+{
+    auto rate = [](std::uint64_t part, std::uint64_t whole) {
+        return whole ? static_cast<double>(part) / whole : 0.0;
+    };
+    const double l1Hit = rate(l1.hits(), l1.hits() + l1.misses());
+    const double l2Hit = rate(l2.hits(), l2.hits() + l2.misses());
+    const double busUtil =
+        total ? std::min(1.0, static_cast<double>(fsb.busyCycles())
+                                  / static_cast<double>(total))
+              : 0.0;
+
+    hw::HwCell cell;
+    cell.cycles = total;
+    cell.breakdown = breakdown;
+    cell.metrics = {
+        {"l1_hit_rate", l1Hit, true},
+        {"l2_hit_rate", l2Hit, true},
+        {"fsb_bus_utilization", busUtil, true},
+        {"mem_stall_fraction",
+         total ? std::min(1.0, rate(_memStall.value(), total)) : 0.0,
+         true},
+        {"fsb_words_per_cycle",
+         total ? static_cast<double>(fsb.wordsMoved())
+                     / static_cast<double>(total)
+               : 0.0,
+         false},
+    };
+
+    cell.verdict.category = hw::dominantCategory(breakdown);
+    switch (cell.verdict.category) {
+      case stats::CycleCategory::Compute:
+        cell.verdict.component = "alu";
+        cell.verdict.detail = "issue-limited, l1 hit "
+                              + hw::fmt2(l1Hit) + ", mem stall frac "
+                              + hw::fmt2(rate(_memStall.value(),
+                                              total ? total : 1));
+        break;
+      case stats::CycleCategory::CacheStall:
+        cell.verdict.component = "l2";
+        cell.verdict.detail = "bound by L2-hit stalls, l1 hit "
+                              + hw::fmt2(l1Hit) + ", l2 hit "
+                              + hw::fmt2(l2Hit);
+        break;
+      case stats::CycleCategory::DramDma:
+        cell.verdict.component = "dram";
+        cell.verdict.detail = "bound by DRAM fills over the FSB, "
+                              "bus util "
+                              + hw::fmt2(busUtil) + ", l2 hit "
+                              + hw::fmt2(l2Hit);
+        break;
+      case stats::CycleCategory::NetworkSync:
+        cell.verdict.component = "network";
+        cell.verdict.detail = "network/sync idle dominates";
+        break;
+      case stats::CycleCategory::SetupReadback:
+        cell.verdict.component = "host";
+        cell.verdict.detail = "setup/readback dominates";
+        break;
+    }
+
+    cell.timeline = hwSamp.finalize(cycles());
+    return cell;
+}
+
 void
 PpcMachine::resetTiming()
 {
     now = 0.0;
     account.reset();
+    hwSamp.reset();
     l1.flush();
     l2.flush();
     fsb.resetState();

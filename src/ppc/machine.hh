@@ -12,11 +12,15 @@
 
 #include <string>
 
+#include <utility>
+#include <vector>
+
 #include "mem/cache.hh"
 #include "mem/port.hh"
 #include "ppc/config.hh"
 #include "sim/cycle_account.hh"
 #include "sim/host_clock.hh"
+#include "sim/hw_report.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -150,6 +154,25 @@ class PpcMachine
 
     stats::StatGroup &statGroup() { return group; }
 
+    /** The component StatGroups (caches, bus) behind the main group,
+     *  as (label-suffix, group) pairs for per-cell capture. */
+    std::vector<std::pair<std::string, stats::StatGroup *>>
+    componentGroups()
+    {
+        return {{"l1", &l1.statGroup()},
+                {"l2", &l2.statGroup()},
+                {"fsb", &fsb.statGroup()}};
+    }
+
+    /**
+     * Roll the component counters into the cell's hardware report:
+     * cache hit rates, FSB utilization, the memAccess epoch
+     * timeline, and a bottleneck verdict consistent with
+     * @p breakdown (hw_report.hh, D14).
+     */
+    hw::HwCell hwCell(Cycles total,
+                      const stats::CycleBreakdown &breakdown);
+
     /** Where the registry mapping samples this cell's coarse
      *  setup/run/readback host-time split (profiling-gated). */
     host::HostPhases &hostTime() { return hostPhases; }
@@ -176,6 +199,10 @@ class PpcMachine
     double now = 0.0;
 
     stats::CycleAccount account;
+    /** Epoch channels sampled only on the memAccess miss paths, so
+     *  span-mode way-predicted L1 hits (which skip memAccess) cannot
+     *  diverge from reference mode (D13). */
+    hw::EpochSampler hwSamp{{"l1_miss", "cache_stall", "dram_stall"}};
 
     stats::StatGroup group;
     stats::Scalar _intOps;

@@ -221,7 +221,7 @@ RawMachine::send(unsigned t, Word value, Cycles now)
 }
 
 void
-RawMachine::tallyStall(TileStall kind)
+RawMachine::tallyStall(TileStall kind, Cycles now)
 {
     switch (kind) {
       case TileStall::Dep:
@@ -241,6 +241,8 @@ RawMachine::tallyStall(TileStall kind)
         // why; a future stall with no kind is a modelling bug.
         triarch_panic("Raw tile stalled with no recorded stall kind");
     }
+    // Epoch channel index = TileStall ordinal - 1 (None panics above).
+    hwSamp.addAt(static_cast<std::size_t>(kind) - 1, now);
 }
 
 void
@@ -249,11 +251,12 @@ RawMachine::stepTile(unsigned t, Cycles now)
     TileHot &tile = hot[t];
     if (tile.halted) {
         ++tcIdle;
+        hwSamp.addAt(4, now);
         wake[t] = kNever;
         return;
     }
     if (tile.stallUntil > now) {
-        tallyStall(tile.stallKind);
+        tallyStall(tile.stallKind, now);
         // The scalar has to agree with the tallies: re-stall cycles
         // of a network-kind stall (Dsend injection occupancy) are
         // network stall cycles too.
@@ -293,7 +296,7 @@ RawMachine::stepTile(unsigned t, Cycles now)
             ++_netStalls;
             tile.stallKind =
                 tile.dmaFed ? TileStall::Dma : TileStall::Net;
-            tallyStall(tile.stallKind);
+            tallyStall(tile.stallKind, now);
             tile.stallUntil = now + 1;
             if (tile.inFifo.size() >= pops) {
                 wake[t] = tile.inFifo[pops - 1].first;
@@ -310,7 +313,7 @@ RawMachine::stepTile(unsigned t, Cycles now)
         if (tile.dynFifo.empty() || tile.dynFifo.front().first > now) {
             ++_netStalls;
             tile.stallKind = TileStall::Net;
-            tallyStall(tile.stallKind);
+            tallyStall(tile.stallKind, now);
             tile.stallUntil = now + 1;
             if (!tile.dynFifo.empty()) {
                 wake[t] = tile.dynFifo.front().first;
@@ -326,7 +329,7 @@ RawMachine::stepTile(unsigned t, Cycles now)
     if (rdy > now) {
         ++_depStalls;
         tile.stallKind = TileStall::Dep;
-        tallyStall(tile.stallKind);
+        tallyStall(tile.stallKind, now);
         tile.stallUntil = rdy;
         wake[t] = rdy;
         return;
@@ -339,7 +342,7 @@ RawMachine::stepTile(unsigned t, Cycles now)
         && hot[tile.route].inFifo.size() >= cfg.fifoCapacity) {
         ++_netStalls;
         tile.stallKind = TileStall::Net;
-        tallyStall(tile.stallKind);
+        tallyStall(tile.stallKind, now);
         tile.stallUntil = now + 1;
         wake[t] = now + 1;
         return;
@@ -347,6 +350,9 @@ RawMachine::stepTile(unsigned t, Cycles now)
 
     auto readReg = [&](unsigned r) -> std::uint32_t {
         if (r == regCsti) {
+            // Availability was checked above, so arrival <= now; the
+            // difference is the word's FIFO residency.
+            fifoWordCycles += now - tile.inFifo.front().first;
             const Word v = tile.inFifo.front().second;
             tile.inFifo.pop_front();
             return v;
@@ -448,8 +454,10 @@ RawMachine::stepTile(unsigned t, Cycles now)
             if (!hazardBoxes.empty()) [[unlikely]]
                 checkChainHazard(t, addr);
         }
-        if (in.rs == regCsti)
+        if (in.rs == regCsti) {
+            fifoWordCycles += now - tile.inFifo.front().first;
             tile.inFifo.pop_front();
+        }
         Word value = 0;
         Cycles extra = 0;
         if (addr >= globalBase) {
@@ -498,8 +506,10 @@ RawMachine::stepTile(unsigned t, Cycles now)
             if (!hazardBoxes.empty()) [[unlikely]]
                 checkChainHazard(t, addr);
         }
-        if (in.rs == regCsti)
+        if (in.rs == regCsti) {
+            fifoWordCycles += now - tile.inFifo.front().first;
             tile.inFifo.pop_front();
+        }
         const Word value = readReg(in.rt);
         if (addr >= globalBase) {
             const Addr off = addr - globalBase;
@@ -653,6 +663,7 @@ RawMachine::batchTile(unsigned t, Cycles cur)
             rdy = std::max(rdy, tile.ready[in.rt]);
         if (rdy > cur) {
             tcDep += rdy - cur;
+            hwSamp.addRange(0, cur, rdy);
             ++_depStalls;
             cur = rdy;
         }
@@ -888,16 +899,19 @@ RawMachine::creditSleep(unsigned t, Cycles now)
     TileHot &tile = hot[t];
     if (now <= tile.talliedThrough)
         return;
-    const std::uint64_t delta = now - tile.talliedThrough;
+    const Cycles from = tile.talliedThrough;
+    const std::uint64_t delta = now - from;
     tile.talliedThrough = now;
     // A sleeping tile's state cannot change, so every skipped cycle
     // tallies exactly what a cycle-at-a-time loop would have: idle
     // for halted tiles, otherwise the recorded stall kind. The
     // event-count scalars (dep_stalls, cache_stall_cycles) were
     // already bumped when the stall began; net_stalls counts
-    // per-cycle and follows the tally.
+    // per-cycle and follows the tally. The epoch samples land on the
+    // same cycles the reference loop's per-cycle tallies would.
     if (tile.halted) {
         tcIdle += delta;
+        hwSamp.addRange(4, from, now);
         return;
     }
     switch (tile.stallKind) {
@@ -918,6 +932,8 @@ RawMachine::creditSleep(unsigned t, Cycles now)
       case TileStall::None:
         triarch_panic("Raw tile slept with no recorded stall kind");
     }
+    hwSamp.addRange(static_cast<std::size_t>(tile.stallKind) - 1,
+                    from, now);
 }
 
 Cycles
@@ -1314,6 +1330,17 @@ RawMachine::run()
                                                      : runEvent();
     _cycles.set(now);
 
+    // Close the FIFO-residency integral: words still queued at the
+    // end of the run occupied their FIFO from arrival to the final
+    // wall clock. Both steppers end at the same `now` with the same
+    // queue contents, so this stays stepper-identical.
+    for (const TileHot &tile : hot) {
+        for (std::size_t i = 0; i < tile.inFifo.size(); ++i) {
+            if (tile.inFifo[i].first < now)
+                fifoWordCycles += now - tile.inFifo[i].first;
+        }
+    }
+
     // The per-instruction retire bookkeeping keeps only the per-tile
     // counter; the machine-wide scalar and the busy tally are its
     // exact (cumulative) sum, settled once per run.
@@ -1368,6 +1395,128 @@ RawMachine::cycleBreakdown(Cycles total)
             : account.finalizeScaled(total);
     accountStats.record(b);
     return b;
+}
+
+std::vector<std::pair<std::string, stats::StatGroup *>>
+RawMachine::componentGroups()
+{
+    std::vector<std::pair<std::string, stats::StatGroup *>> out;
+    for (unsigned t = 0; t < cfg.tiles(); ++t)
+        out.emplace_back("dcache" + std::to_string(t),
+                         &cold[t].cache->statGroup());
+    return out;
+}
+
+hw::HwCell
+RawMachine::hwCell(Cycles total, const stats::CycleBreakdown &breakdown)
+{
+    const Cycles measured = _cycles.value();
+    const double tileCycles =
+        static_cast<double>(cfg.tiles())
+        * static_cast<double>(measured ? measured : 1);
+    auto frac = [&](std::uint64_t part) {
+        return measured
+                   ? std::min(1.0, static_cast<double>(part)
+                                       / tileCycles)
+                   : 0.0;
+    };
+
+    std::uint64_t dHits = 0, dMisses = 0;
+    for (const TileCold &c : cold) {
+        dHits += c.cache->hits();
+        dMisses += c.cache->misses();
+    }
+    const std::uint64_t dTotal = dHits + dMisses;
+    const double dcacheHit =
+        dTotal ? static_cast<double>(dHits) / dTotal : 0.0;
+    const double fifoOcc =
+        measured
+            ? std::min(1.0, static_cast<double>(fifoWordCycles)
+                                / (tileCycles * cfg.fifoCapacity))
+            : 0.0;
+    const double busyFrac = frac(tcBusy);
+    const double idleFrac = frac(tcIdle);
+
+    hw::HwCell cell;
+    cell.cycles = total;
+    cell.breakdown = breakdown;
+    cell.metrics = {
+        {"dcache_hit_rate", dcacheHit, true},
+        {"mesh_fifo_occupancy", fifoOcc, true},
+        {"tile_busy_fraction", busyFrac, true},
+        {"idle_fraction", idleFrac, true},
+        {"net_stall_fraction", frac(tcNet), true},
+        {"dma_words_per_cycle",
+         measured ? static_cast<double>(_wordsDmaIn.value()
+                                        + _wordsDmaOut.value())
+                        / static_cast<double>(measured)
+                  : 0.0,
+         false},
+    };
+
+    cell.verdict.category = hw::dominantCategory(breakdown);
+    switch (cell.verdict.category) {
+      case stats::CycleCategory::Compute:
+        cell.verdict.component = "tiles";
+        cell.verdict.detail = "issue-limited across the mesh, "
+                              "busy frac "
+                              + hw::fmt2(busyFrac) + ", dcache hit "
+                              + hw::fmt2(dcacheHit);
+        break;
+      case stats::CycleCategory::CacheStall:
+        cell.verdict.component = "dcache";
+        cell.verdict.detail = "bound by tile cache misses, "
+                              "dcache hit "
+                              + hw::fmt2(dcacheHit);
+        break;
+      case stats::CycleCategory::DramDma:
+        cell.verdict.component = "dma";
+        cell.verdict.detail = "bound by DMA-fed FIFO waits, "
+                              "fifo occ "
+                              + hw::fmt2(fifoOcc) + ", busy frac "
+                              + hw::fmt2(busyFrac);
+        break;
+      case stats::CycleCategory::NetworkSync:
+        cell.verdict.component = "mesh";
+        cell.verdict.detail = "bound by network waits and imbalance "
+                              "idle, idle frac "
+                              + hw::fmt2(idleFrac) + ", fifo occ "
+                              + hw::fmt2(fifoOcc);
+        break;
+      case stats::CycleCategory::SetupReadback:
+        cell.verdict.component = "host";
+        cell.verdict.detail = "host setup dominates";
+        break;
+    }
+
+    // The timeline closes over the measured wall clock — for the
+    // CSLC extrapolated cell, events happened on the unbalanced run.
+    cell.timeline = hwSamp.finalize(measured);
+
+    // Derive the busy channel: every tile-cycle not tallied to a
+    // stall or idle channel was a retire, so per epoch it is the
+    // residual against tiles() x epoch span (exact; clamped only to
+    // keep unsigned arithmetic safe against modelling drift).
+    const std::size_t epochs = cell.timeline.epochs();
+    hw::EpochChannel busy;
+    busy.name = "busy";
+    busy.counts.resize(epochs, 0);
+    for (std::size_t e = 0; e < epochs; ++e) {
+        const Cycles start =
+            static_cast<Cycles>(e) * cell.timeline.epochCycles;
+        const Cycles span =
+            e + 1 == epochs ? measured - start
+                            : cell.timeline.epochCycles;
+        const std::uint64_t capacity =
+            static_cast<std::uint64_t>(cfg.tiles()) * span;
+        std::uint64_t others = 0;
+        for (const hw::EpochChannel &ch : cell.timeline.channels)
+            others += ch.counts[e];
+        busy.counts[e] = capacity > others ? capacity - others : 0;
+    }
+    cell.timeline.channels.insert(cell.timeline.channels.begin(),
+                                  std::move(busy));
+    return cell;
 }
 
 std::uint64_t

@@ -38,6 +38,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mem/cache.hh"
@@ -45,6 +46,7 @@
 #include "raw/isa.hh"
 #include "sim/cycle_account.hh"
 #include "sim/host_clock.hh"
+#include "sim/hw_report.hh"
 #include "sim/ring_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -181,6 +183,24 @@ class RawMachine
      */
     stats::CycleBreakdown cycleBreakdown(Cycles total);
 
+    /** The component StatGroups (one per tile data cache) behind the
+     *  main group, as (label-suffix, group) pairs for per-cell
+     *  capture. */
+    std::vector<std::pair<std::string, stats::StatGroup *>>
+    componentGroups();
+
+    /**
+     * Roll the mesh counters into the cell's hardware report:
+     * aggregate dcache hit rate, FIFO occupancy, tile busy/idle
+     * fractions, the per-stall-kind epoch timeline (with the busy
+     * channel derived as the tile-cycle residual), and a bottleneck
+     * verdict consistent with @p breakdown (hw_report.hh, D14).
+     * @p total may be the CSLC balanced extrapolation; the timeline
+     * always closes over the measured wall clock.
+     */
+    hw::HwCell hwCell(Cycles total,
+                      const stats::CycleBreakdown &breakdown);
+
     /** One-paragraph block-diagram description (Figure 3). */
     std::string describe() const;
 
@@ -273,8 +293,8 @@ class RawMachine
     void stepTile(unsigned t, Cycles now);
     void batchTile(unsigned t, Cycles cur);
 
-    /** Account one cycle of @p kind for a tile. */
-    void tallyStall(TileStall kind);
+    /** Account one cycle of @p kind for a tile at cycle @p now. */
+    void tallyStall(TileStall kind, Cycles now);
 
     /** Advance DMA engines for one cycle. */
     void stepPorts(Cycles now);
@@ -382,6 +402,18 @@ class RawMachine
     /** ... plus undrained port work items (queued DMA segments and
      *  in-flight port arrivals). */
     std::uint64_t portWork = 0;
+
+    /** Epoch channels mirroring the stall tallies (busy is derived
+     *  at finalize time as the tile-cycle residual). Both steppers
+     *  credit the same per-cycle tallies — the event loop in bulk
+     *  ranges, the reference loop cycle by cycle — and the sampler
+     *  is order-independent, so the timelines are bit-identical. */
+    hw::EpochSampler hwSamp{{"dep", "cache", "net", "dma", "idle"}};
+    /** Sum over popped static-network words of (pop cycle - arrival
+     *  cycle): the FIFO-residency integral behind the mesh FIFO
+     *  occupancy metric. run() adds the residual of unconsumed
+     *  words against the final wall clock. */
+    std::uint64_t fifoWordCycles = 0;
 
     // Tile-cycle tallies: each tile contributes exactly one tally
     // per run() cycle, so their sum is tiles() x wall cycles.

@@ -58,10 +58,12 @@ writeJobRequest(const JobRequest &request)
     w.beginObject(json::Writer::Style::Compact);
     w.member("schema", jobSchema());
     w.member("id", request.id);
-    if (request.kind == RequestKind::Stats) {
-        // A stats probe carries no work; config and cells stay off
-        // the wire so the request is schema + id + type only.
-        w.member("type", "stats");
+    if (request.kind != RequestKind::Run) {
+        // A stats/hw probe carries no work; config and cells stay
+        // off the wire so the request is schema + id + type only.
+        w.member("type", request.kind == RequestKind::Stats
+                             ? "stats"
+                             : "hw");
         w.endObject();
         w.finish();
         return os.str();
@@ -101,6 +103,9 @@ writeJobResponse(const JobResponse &response)
         // triarch.stats.v1 document); splice it verbatim so the
         // client sees exactly what the daemon's --stats file shows.
         w.key("stats").rawValue(response.statsJson);
+    } else if (!response.hwJson.empty()) {
+        // Same verbatim splice for the triarch.hw.v1 report.
+        w.key("hw").rawValue(response.hwJson);
     } else {
         w.key("results").beginArray();
         for (const CellResult &cell : response.results) {
@@ -179,11 +184,14 @@ parseJobRequest(const std::string &text, JobRequest *request,
     if (const json::Value *type = root->field("type")) {
         if (!type->isString())
             return reject(error, "type field is not a string");
-        if (type->text != "stats") {
+        if (type->text == "stats") {
+            out.kind = RequestKind::Stats;
+        } else if (type->text == "hw") {
+            out.kind = RequestKind::Hw;
+        } else {
             return reject(error, "unknown request type '" + type->text
                                      + "'");
         }
-        out.kind = RequestKind::Stats;
         *request = std::move(out);
         return true;
     }
@@ -271,6 +279,14 @@ parseJobResponse(const std::string &text, JobResponse *response,
         // render() preserves the raw number text and field order, so
         // a write/parse round trip of the snapshot is bit-exact.
         out.statsJson = json::render(*statsDoc);
+        *response = std::move(out);
+        return true;
+    }
+
+    if (const json::Value *hwDoc = root->field("hw")) {
+        if (!hwDoc->isObject())
+            return reject(error, "hw field is not an object");
+        out.hwJson = json::render(*hwDoc);
         *response = std::move(out);
         return true;
     }

@@ -12,9 +12,12 @@
  * A request may instead carry '"type": "stats"' — no cells — which
  * asks the daemon for its current triarch.stats.v1 snapshot; the
  * response then carries the snapshot verbatim under "stats" instead
- * of a results array. Run requests never write the type field, so
- * their wire bytes are unchanged from before the stats endpoint
- * existed.
+ * of a results array. '"type": "hw"' works the same way for the
+ * daemon's triarch.hw.v1 hardware-utilization report (the cells its
+ * run jobs have executed so far, with bottleneck verdicts and epoch
+ * timelines), carried under "hw". Run requests never write the type
+ * field, so their wire bytes are unchanged from before these
+ * endpoints existed.
  *
  * Like triarch.bench.v1, both documents round-trip: writeJobRequest
  * followed by parseJobRequest (and the response pair) reproduce the
@@ -45,6 +48,7 @@ enum class RequestKind
 {
     Run,      //!< execute the cells (the default; no type field)
     Stats,    //!< return the live stats snapshot ("type": "stats")
+    Hw,       //!< return the hw utilization report ("type": "hw")
 };
 
 /** One job: run these cells under this config. */
@@ -54,8 +58,8 @@ struct JobRequest
     study::StudyConfig config;         //!< paper defaults if omitted
     std::vector<study::Cell> cells;    //!< at least one (Run only)
 
-    /** Stats requests serialize only schema/id/type; config and
-     *  cells are ignored for them. */
+    /** Stats and hw requests serialize only schema/id/type; config
+     *  and cells are ignored for them. */
     RequestKind kind = RequestKind::Run;
 
     friend bool operator==(const JobRequest &,
@@ -105,6 +109,10 @@ struct JobResponse
      *  rendered compactly. Empty for run responses; when non-empty
      *  the wire document carries it verbatim instead of results. */
     std::string statsJson;
+
+    /** Hw-request answer: the daemon's triarch.hw.v1 report,
+     *  rendered compactly; carried under "hw" on the wire. */
+    std::string hwJson;
 
     bool ok() const { return !error.has_value(); }
 

@@ -172,6 +172,8 @@ SocketServer::serveConnection(int fd)
                 response = badRequestResponse(line, parseError);
             else if (request.kind == RequestKind::Stats)
                 response = service.stats(request);
+            else if (request.kind == RequestKind::Hw)
+                response = service.hw(request);
             else
                 response = service.submit(request);
             if (!writeAll(fd, writeJobResponse(response) + "\n")) {

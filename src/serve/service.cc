@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "sim/hw_report.hh"
 #include "sim/logging.hh"
 #include "sim/metrics.hh"
 #include "sim/trace.hh"
@@ -128,6 +129,29 @@ ExperimentService::stats(const JobRequest &request)
         return response;
     }
     response.statsJson = statsJson();
+    return response;
+}
+
+JobResponse
+ExperimentService::hw(const JobRequest &request)
+{
+    JobResponse response;
+    response.id = request.id;
+    response.configHash =
+        hashHex(study::studyConfigHash(request.config));
+    if (draining()) {
+        ++nJobsRefused;
+        response.error =
+            JobError{JobErrorCode::Draining,
+                     "daemon is draining; hw report unavailable"};
+        return response;
+    }
+    // No config hash inside the document: the registry holds the
+    // latest capture per cell across every config this daemon ran.
+    // (Fully qualified: the method's own name shadows the namespace.)
+    response.hwJson = ::triarch::hw::renderHwReport(
+        ::triarch::hw::HwRegistry::global().report(),
+        /*compact=*/true);
     return response;
 }
 

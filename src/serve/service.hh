@@ -83,6 +83,12 @@ class ExperimentService
      *  --stats file instead). Thread-safe. */
     JobResponse stats(const JobRequest &request);
 
+    /** Answer a "hw" request: the triarch.hw.v1 utilization report
+     *  of every cell the daemon's run jobs have executed so far,
+     *  under JobResponse::hwJson (Draining error once beginDrain()
+     *  was called). Thread-safe. */
+    JobResponse hw(const JobRequest &request);
+
     /** Stop accepting jobs; already-accepted cells keep running. */
     void beginDrain();
 

@@ -135,9 +135,15 @@ TraceSession::span(const std::string &name, const char *category,
 void
 TraceSession::counter(const std::string &name, double value)
 {
-    const double ts = nowUs();
+    counterAt(name, nowUs(), value);
+}
+
+void
+TraceSession::counterAt(const std::string &name, double ts_us,
+                        double value)
+{
     std::lock_guard<std::mutex> lock(mu);
-    buffer.push_back({name, "counter", 'C', laneLocked(), ts, 0.0,
+    buffer.push_back({name, "counter", 'C', laneLocked(), ts_us, 0.0,
                       value, {}});
 }
 

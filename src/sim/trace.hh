@@ -78,6 +78,15 @@ class TraceSession
     /** Emit a counter sample (current wall clock, calling lane). */
     void counter(const std::string &name, double value);
 
+    /**
+     * Emit a counter sample at an explicit timestamp (microseconds
+     * since the session epoch). This is how deterministic epoch
+     * samples (hw_report.hh) are placed inside an already-measured
+     * cell span so Perfetto renders the utilization track under it.
+     */
+    void counterAt(const std::string &name, double ts_us,
+                   double value);
+
     /** Name the calling thread's lane in the rendered trace. */
     void nameThread(const std::string &thread_name);
 
@@ -171,6 +180,19 @@ counter(const std::string &name, double value)
 {
     if (TraceSession *sess = TraceSession::active())
         sess->counter(name, value);
+}
+
+/**
+ * Emit a counter sample at an explicit session timestamp, if a
+ * session is active. Takes const char* so the disabled path is one
+ * load and one branch with no string construction — counter emission
+ * must allocate nothing when tracing is off (tests/test_trace.cc).
+ */
+inline void
+counterAt(const char *name, double ts_us, double value)
+{
+    if (TraceSession *sess = TraceSession::active())
+        sess->counterAt(name, ts_us, value);
 }
 
 } // namespace triarch::trace

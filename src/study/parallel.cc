@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "sim/host_clock.hh"
+#include "sim/hw_report.hh"
 #include "sim/logging.hh"
 #include "sim/metrics.hh"
 #include "sim/trace.hh"
@@ -196,6 +197,36 @@ ParallelRunner::tryRunCells(const std::vector<Cell> &cells)
                     "scheduler.cells_done",
                     static_cast<double>(nCellsRun.value()
                                         + nCellsCached.value()));
+                // Epoch-sampled hardware counters for the cell the
+                // mapping just captured, placed across the measured
+                // execution window in simulated-epoch order so
+                // Perfetto draws each channel as a counter track.
+                if (auto cellHw = hw::HwRegistry::global().find(
+                        machineToken(cell.machine),
+                        kernelToken(cell.kernel))) {
+                    const double spanUs = ts->nowUs() - execUs;
+                    const std::size_t epochs =
+                        cellHw->timeline.epochs();
+                    for (const hw::EpochChannel &ch :
+                         cellHw->timeline.channels) {
+                        const std::string name =
+                            cellLabel(cell) + ".hw." + ch.name;
+                        for (std::size_t e = 0; e < epochs; ++e) {
+                            const double atUs =
+                                epochs > 1
+                                    ? execUs + spanUs
+                                                   * static_cast<
+                                                       double>(e)
+                                                   / static_cast<
+                                                       double>(epochs
+                                                               - 1)
+                                    : execUs;
+                            ts->counterAt(
+                                name, atUs,
+                                static_cast<double>(ch.counts[e]));
+                        }
+                    }
+                }
             }
         }
     };

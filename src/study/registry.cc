@@ -4,6 +4,7 @@
 #include "ppc/kernels_ppc.hh"
 #include "raw/kernels_raw.hh"
 #include "sim/host_clock.hh"
+#include "sim/hw_report.hh"
 #include "sim/logging.hh"
 #include "sim/metrics.hh"
 #include "viram/kernels_viram.hh"
@@ -69,16 +70,30 @@ cellResult(MachineId machine, KernelId kernel)
 
 /**
  * Snapshot the machine model's stats into the global MetricsRegistry
- * under "<machine-token>.<kernel-token>" before the model dies with
- * its mapping. Per-cell simulation is deterministic, so re-running a
- * cell recaptures identical values.
+ * — the main group under "<machine-token>.<kernel-token>" and every
+ * component group (caches, TLB, DRAM channels, ports) under
+ * "<machine>.<kernel>.<component>" — and the model's rolled-up
+ * hardware cell (utilization metrics, verdict, epoch timeline) into
+ * the global HwRegistry, before the model dies with its mapping.
+ * Per-cell simulation is deterministic, so re-running a cell
+ * recaptures identical values. Requires result.cycles and
+ * result.breakdown to be final.
  */
+template <typename Machine>
 void
-captureStats(stats::StatGroup &group, const RunResult &result)
+captureCell(Machine &m, const RunResult &result)
 {
-    metrics::MetricsRegistry::global().capture(
-        group,
-        machineToken(result.machine) + "." + kernelToken(result.kernel));
+    const std::string label =
+        machineToken(result.machine) + "." + kernelToken(result.kernel);
+    auto &reg = metrics::MetricsRegistry::global();
+    reg.capture(m.statGroup(), label);
+    for (auto &[suffix, group] : m.componentGroups())
+        reg.capture(*group, label + "." + suffix);
+
+    hw::HwCell cell = m.hwCell(result.cycles, result.breakdown);
+    cell.machine = machineToken(result.machine);
+    cell.kernel = kernelToken(result.kernel);
+    hw::HwRegistry::global().capture(std::move(cell));
 }
 
 // ---------------------------------------------------------------
@@ -107,7 +122,7 @@ registerPpc(MappingRegistry &r, MachineId id, bool altivec)
                   kernels::isTransposeOf(work.matrix, dst);
               result.breakdown = m.cycleBreakdown(result.cycles);
               split.record(m.hostTime());
-              captureStats(m.statGroup(), result);
+              captureCell(m, result);
               return result;
           });
 
@@ -126,7 +141,7 @@ registerPpc(MappingRegistry &r, MachineId id, bool altivec)
                   cfg, work, out, kernels::FftAlgo::Radix2);
               result.breakdown = m.cycleBreakdown(result.cycles);
               split.record(m.hostTime());
-              captureStats(m.statGroup(), result);
+              captureCell(m, result);
               return result;
           });
 
@@ -144,7 +159,7 @@ registerPpc(MappingRegistry &r, MachineId id, bool altivec)
               result.validated = out == work.beamRef;
               result.breakdown = m.cycleBreakdown(result.cycles);
               split.record(m.hostTime());
-              captureStats(m.statGroup(), result);
+              captureCell(m, result);
               return result;
           });
 }
@@ -181,7 +196,7 @@ registerViram(MappingRegistry &r)
                   kernels::isTransposeOf(work.matrix, dst);
               result.breakdown = m.cycleBreakdown(result.cycles);
               split.record(m.hostTime());
-              captureStats(m.statGroup(), result);
+              captureCell(m, result);
               return result;
           });
 
@@ -204,7 +219,7 @@ registerViram(MappingRegistry &r)
                       / m.vectorInstructions());
               result.breakdown = m.cycleBreakdown(result.cycles);
               split.record(m.hostTime());
-              captureStats(m.statGroup(), result);
+              captureCell(m, result);
               return result;
           });
 
@@ -227,7 +242,7 @@ registerViram(MappingRegistry &r)
               result.validated = out == work.beamRef;
               result.breakdown = m.cycleBreakdown(result.cycles);
               split.record(m.hostTime());
-              captureStats(m.statGroup(), result);
+              captureCell(m, result);
               return result;
           });
 }
@@ -258,7 +273,7 @@ registerImagine(MappingRegistry &r)
                   kernels::isTransposeOf(work.matrix, dst);
               result.breakdown = m.cycleBreakdown(result.cycles);
               split.record(m.hostTime());
-              captureStats(m.statGroup(), result);
+              captureCell(m, result);
               return result;
           });
 
@@ -279,7 +294,7 @@ registerImagine(MappingRegistry &r)
                                         m.aluUtilization());
               result.breakdown = m.cycleBreakdown(result.cycles);
               split.record(m.hostTime());
-              captureStats(m.statGroup(), result);
+              captureCell(m, result);
               return result;
           });
 
@@ -299,7 +314,7 @@ registerImagine(MappingRegistry &r)
               result.validated = out == work.beamRef;
               result.breakdown = m.cycleBreakdown(result.cycles);
               split.record(m.hostTime());
-              captureStats(m.statGroup(), result);
+              captureCell(m, result);
               return result;
           });
 }
@@ -331,7 +346,7 @@ registerRaw(MappingRegistry &r)
                   kernels::isTransposeOf(work.matrix, dst);
               result.breakdown = m.cycleBreakdown(result.cycles);
               split.record(m.hostTime());
-              captureStats(m.statGroup(), result);
+              captureCell(m, result);
               return result;
           });
 
@@ -366,7 +381,7 @@ registerRaw(MappingRegistry &r)
               // measured wall clock: the account rescales.
               result.breakdown = m.cycleBreakdown(result.cycles);
               split.record(m.hostTime());
-              captureStats(m.statGroup(), result);
+              captureCell(m, result);
               return result;
           });
 
@@ -387,7 +402,7 @@ registerRaw(MappingRegistry &r)
               result.validated = out == work.beamRef;
               result.breakdown = m.cycleBreakdown(result.cycles);
               split.record(m.hostTime());
-              captureStats(m.statGroup(), result);
+              captureCell(m, result);
               return result;
           });
 }

@@ -27,11 +27,13 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mem/cache.hh"
 #include "sim/cycle_account.hh"
 #include "sim/host_clock.hh"
+#include "sim/hw_report.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 #include "sim/zero_buffer.hh"
@@ -156,6 +158,23 @@ class ViramMachine
 
     stats::StatGroup &statGroup() { return group; }
 
+    /** The component StatGroups behind the main group, as
+     *  (label-suffix, group) pairs for per-cell capture. */
+    std::vector<std::pair<std::string, stats::StatGroup *>>
+    componentGroups()
+    {
+        return {{"tlb", &tlb.statGroup()}};
+    }
+
+    /**
+     * Roll the lane/memory-unit counters into the cell's hardware
+     * report: lane and VMU utilization, TLB hit rate, row-miss rate,
+     * the per-unit busy epoch timeline, and a bottleneck verdict
+     * consistent with @p breakdown (hw_report.hh, D14).
+     */
+    hw::HwCell hwCell(Cycles total,
+                      const stats::CycleBreakdown &breakdown);
+
     /** Where the registry mapping samples this cell's coarse
      *  setup/run/readback host-time split (profiling-gated). */
     host::HostPhases &hostTime() { return hostPhases; }
@@ -258,6 +277,13 @@ class ViramMachine
 
     // Busy intervals for the wall-clock cycle account.
     stats::CycleTimeline timeline;
+
+    /** Epoch channels indexed by Unit (VAU0/VAU1/VMU), sampled in
+     *  issue() over the unit-busy interval. Scoreboard timing is
+     *  identical under both memory models (memAccessCycles returns
+     *  the same charge either way, D13), so the timeline is
+     *  mode-identical by construction. */
+    hw::EpochSampler hwSamp{{"vau0_busy", "vau1_busy", "vmu_busy"}};
 
     // Statistics.
     stats::StatGroup group;

@@ -33,6 +33,7 @@
 #include "serve/server.hh"
 #include "serve/service.hh"
 #include "sim/host_clock.hh"
+#include "sim/hw_report.hh"
 #include "study/result_cache.hh"
 #include "study/study_json.hh"
 
@@ -907,6 +908,91 @@ TEST(SocketServer, StatsRequestRoundTripsOverUnixAndTcp)
     tcpServer.stop();
     server.stop();
     service.drain();
+}
+
+// --- the hw endpoint -------------------------------------------------
+
+TEST(ServeProtocol, HwRequestAndResponseRoundTrip)
+{
+    JobRequest probe;
+    probe.id = "hwz";
+    probe.kind = serve::RequestKind::Hw;
+
+    const std::string line = serve::writeJobRequest(probe);
+    EXPECT_NE(line.find("\"type\": \"hw\""), std::string::npos)
+        << line;
+    EXPECT_EQ(line.find("cells"), std::string::npos)
+        << "hw probes carry no work: " << line;
+
+    JobRequest parsed;
+    std::string error;
+    ASSERT_TRUE(serve::parseJobRequest(line, &parsed, &error)) << error;
+    EXPECT_EQ(parsed, probe);
+
+    // The embedded triarch.hw.v1 document survives bit-for-bit.
+    JobResponse response;
+    response.id = "hwz";
+    response.configHash = "abc";
+    response.hwJson =
+        R"({"schema": "triarch.hw.v1", "epoch_slots": 64, "cells": []})";
+    const std::string wire = serve::writeJobResponse(response);
+    EXPECT_EQ(wire.find('\n'), std::string::npos);
+    JobResponse back;
+    ASSERT_TRUE(serve::parseJobResponse(wire, &back, &error)) << error;
+    EXPECT_EQ(back, response);
+
+    // An hw field that is not an object is rejected.
+    EXPECT_FALSE(serve::parseJobResponse(
+        R"({"schema": "triarch.result.v1", "id": "x",
+            "config_hash": "1", "status": "ok", "hw": 7})",
+        &back, &error));
+    EXPECT_NE(error.find("hw"), std::string::npos) << error;
+}
+
+TEST(ExperimentService, HwReportIsLiveAndRefusedWhileDraining)
+{
+    std::atomic<std::uint64_t> executions{0};
+    const auto registry = fakeRegistry(&executions);
+    study::ResultCache cache;
+    serve::ExperimentService service({}, &registry, &cache);
+
+    // Seed the process-wide registry with one consistent cell, as a
+    // real kernel mapping would on execution.
+    hw::HwRegistry::global().clear();
+    hw::HwCell cell;
+    cell.machine = "viram";
+    cell.kernel = "ct";
+    cell.cycles = 100;
+    cell.breakdown.cycles = {10, 5, 80, 3, 2};
+    cell.breakdown.total = 100;
+    cell.verdict = {"dram", stats::CycleCategory::DramDma,
+                    "bound by DRAM"};
+    cell.timeline.cycles = 100;
+    cell.timeline.epochCycles = 2;
+    cell.timeline.channels.push_back(
+        {"busy", std::vector<std::uint64_t>(50, 1)});
+    hw::HwRegistry::global().capture(cell);
+
+    JobRequest probe;
+    probe.id = "hwz";
+    probe.kind = serve::RequestKind::Hw;
+    const JobResponse snap = service.hw(probe);
+    ASSERT_TRUE(snap.ok());
+    EXPECT_EQ(snap.id, "hwz");
+
+    // The daemon's snapshot must itself satisfy the strict parser.
+    std::string error;
+    const auto parsed = hw::parseHwReport(snap.hwJson, &error);
+    ASSERT_TRUE(parsed) << error;
+    ASSERT_EQ(parsed->cells.size(), 1u);
+    EXPECT_EQ(parsed->cells[0], cell);
+
+    service.beginDrain();
+    const JobResponse refused = service.hw(probe);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.error->code, JobErrorCode::Draining);
+    EXPECT_TRUE(refused.hwJson.empty());
+    hw::HwRegistry::global().clear();
 }
 
 } // namespace

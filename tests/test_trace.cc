@@ -472,6 +472,7 @@ TEST(TraceScopeTest, DisabledPathAllocatesNothing)
         trace::TraceScope scope("hot.loop", "test");
     }
     trace::counter("hot.counter", 1.0);
+    trace::counterAt("hot.counter_at", 12.5, 2.0);
     const std::uint64_t after =
         allocationCount.load(std::memory_order_relaxed);
     EXPECT_EQ(after, before)
@@ -506,9 +507,14 @@ TEST(MetricsDeterminism, StatsJsonBitIdenticalAcrossThreadCounts)
     EXPECT_NE(at1.find("\"schema\": \"triarch.stats.v1\""),
               std::string::npos);
     // Every machine ran every kernel; the scheduler group is live.
+    // The mem-subsystem component groups (caches, bus, TLB, DRAM
+    // channels, per-tile D-caches) are captured uniformly per cell.
     for (const char *label :
          {"\"ppc.ct\"", "\"altivec.cslc\"", "\"viram.ct\"",
-          "\"imagine.cslc\"", "\"raw.bs\"", "\"scheduler\""})
+          "\"imagine.cslc\"", "\"raw.bs\"", "\"scheduler\"",
+          "\"ppc.ct.l1\"", "\"ppc.bs.l2\"", "\"altivec.cslc.fsb\"",
+          "\"viram.ct.tlb\"", "\"imagine.cslc.dram0\"",
+          "\"raw.bs.dcache15\""})
         EXPECT_NE(at1.find(label), std::string::npos) << label;
     metrics::MetricsRegistry::global().clear();
 }
